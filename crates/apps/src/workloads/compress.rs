@@ -1,0 +1,220 @@
+//! The *Compression* task: a real LZ77-style compressor.
+//!
+//! The format is a byte stream of tokens:
+//!
+//! - `0x00, len, bytes…` — a literal run of `len` (1–255) bytes;
+//! - `0x01, d_lo, d_hi, len` — a back-reference of `len` (3–255) bytes at
+//!   distance `d` (1–65535).
+
+use super::{scale_exec, Workload, WorkloadOutput};
+use std::time::Duration;
+
+const WINDOW: usize = 8192;
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 255;
+
+/// Compresses `data`, returning the token stream.
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut literals: Vec<u8> = Vec::new();
+    // Chained hash table over 3-byte prefixes.
+    const HASH_SIZE: usize = 1 << 13;
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; data.len()];
+    let hash = |d: &[u8], i: usize| -> usize {
+        let h = (d[i] as usize) << 10 ^ (d[i + 1] as usize) << 5 ^ (d[i + 2] as usize);
+        h & (HASH_SIZE - 1)
+    };
+    let flush_literals = |out: &mut Vec<u8>, lits: &mut Vec<u8>| {
+        for chunk in lits.chunks(255) {
+            out.push(0x00);
+            out.push(chunk.len() as u8);
+            out.extend_from_slice(chunk);
+        }
+        lits.clear();
+    };
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0;
+        let mut best_dist = 0;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash(data, i);
+            let mut cand = head[h];
+            let mut tries = 16;
+            while cand != usize::MAX && tries > 0 && i - cand <= WINDOW {
+                let mut l = 0;
+                let max = (data.len() - i).min(MAX_MATCH);
+                while l < max && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                }
+                cand = prev[cand];
+                tries -= 1;
+            }
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, &mut literals);
+            out.push(0x01);
+            out.push((best_dist & 0xff) as u8);
+            out.push((best_dist >> 8) as u8);
+            out.push(best_len as u8);
+            // Index the skipped positions so later matches can find them.
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH));
+            let mut j = i + 1;
+            while j < end {
+                let h = hash(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+                j += 1;
+            }
+            i += best_len;
+        } else {
+            literals.push(data[i]);
+            if literals.len() == 255 {
+                flush_literals(&mut out, &mut literals);
+            }
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &mut literals);
+    out
+}
+
+/// Errors from [`decompress`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LzError {
+    /// Token stream ended mid-token.
+    Truncated,
+    /// A back-reference pointed before the output start.
+    BadDistance,
+    /// Unknown token tag.
+    BadTag(u8),
+}
+
+/// Decompresses a token stream produced by [`compress`].
+pub fn decompress(stream: &[u8]) -> Result<Vec<u8>, LzError> {
+    let mut out = Vec::with_capacity(stream.len() * 2);
+    let mut i = 0;
+    while i < stream.len() {
+        match stream[i] {
+            0x00 => {
+                let len = *stream.get(i + 1).ok_or(LzError::Truncated)? as usize;
+                let start = i + 2;
+                let end = start + len;
+                if end > stream.len() {
+                    return Err(LzError::Truncated);
+                }
+                out.extend_from_slice(&stream[start..end]);
+                i = end;
+            }
+            0x01 => {
+                if i + 4 > stream.len() {
+                    return Err(LzError::Truncated);
+                }
+                let dist = stream[i + 1] as usize | (stream[i + 2] as usize) << 8;
+                let len = stream[i + 3] as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(LzError::BadDistance);
+                }
+                let from = out.len() - dist;
+                for k in 0..len {
+                    let b = out[from + k];
+                    out.push(b);
+                }
+                i += 4;
+            }
+            tag => return Err(LzError::BadTag(tag)),
+        }
+    }
+    Ok(out)
+}
+
+/// The Compression workload: zip a 9.7 MB input (§6.6).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Compression;
+
+impl Workload for Compression {
+    fn name(&self) -> &'static str {
+        "Compression"
+    }
+
+    fn input_bytes(&self) -> u64 {
+        (9.7 * 1024.0 * 1024.0) as u64
+    }
+
+    fn exec_time(&self, vcpus: f64) -> Duration {
+        scale_exec(Duration::from_millis(9000), vcpus)
+    }
+
+    fn compute(&self, input: &[u8]) -> WorkloadOutput {
+        let compressed = compress(input);
+        let restored = decompress(&compressed).expect("own stream decodes");
+        assert_eq!(restored, input, "lossless round trip");
+        WorkloadOutput::Compressed {
+            compressed: compressed.len(),
+            original: input.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_text() {
+        let data = b"abcabcabcabc the quick brown fox jumps over the lazy dog dog dog"
+            .repeat(50);
+        let c = compress(&data);
+        assert!(c.len() < data.len(), "{} !< {}", c.len(), data.len());
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_incompressible() {
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let c = compress(&data);
+        assert_eq!(decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn round_trip_edge_cases() {
+        for data in [vec![], vec![7u8], vec![0u8; 300], b"aaaa".to_vec()] {
+            let c = compress(&data);
+            assert_eq!(decompress(&c).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert_eq!(decompress(&[0x07]), Err(LzError::BadTag(0x07)));
+        assert_eq!(decompress(&[0x00, 5, 1, 2]), Err(LzError::Truncated));
+        assert_eq!(
+            decompress(&[0x01, 10, 0, 3]),
+            Err(LzError::BadDistance)
+        );
+    }
+
+    #[test]
+    fn workload_reports_ratio() {
+        let w = Compression;
+        let data = b"compressible compressible compressible".repeat(20);
+        match w.compute(&data) {
+            WorkloadOutput::Compressed {
+                compressed,
+                original,
+            } => {
+                assert_eq!(original, data.len());
+                assert!(compressed < original);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

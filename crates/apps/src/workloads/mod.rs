@@ -1,0 +1,125 @@
+//! Workload definitions and presets.
+
+pub mod bfs;
+pub mod compress;
+pub mod image;
+pub mod inference;
+
+use std::time::Duration;
+
+/// Result of a workload's real computation (for verification).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadOutput {
+    /// Thumbnail pixels (image task).
+    Thumbnail(Vec<u8>),
+    /// (compressed size, verified round trip) for the compression task.
+    Compressed {
+        /// Bytes after compression.
+        compressed: usize,
+        /// Original size.
+        original: usize,
+    },
+    /// (nodes visited, max depth) for the BFS task.
+    Traversal {
+        /// Reachable nodes.
+        visited: usize,
+        /// Eccentricity from the root.
+        depth: usize,
+    },
+    /// Predicted class index (inference task).
+    Class(usize),
+}
+
+/// A serverless workload: input, execution model, and real computation.
+pub trait Workload: Send + Sync {
+    /// Workload name.
+    fn name(&self) -> &'static str;
+
+    /// Bytes downloaded from the storage server before computing.
+    fn input_bytes(&self) -> u64;
+
+    /// Modelled execution time at `vcpus` virtual CPUs (base times are
+    /// calibrated at the default 0.5 vCPU allocation, §3.1).
+    fn exec_time(&self, vcpus: f64) -> Duration;
+
+    /// Runs the real algorithm over (a sample of) the input bytes.
+    fn compute(&self, input: &[u8]) -> WorkloadOutput;
+}
+
+/// The four SeBS tasks of §6.6, in increasing execution-time order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppKind {
+    /// Resize an input image to a 100×100 thumbnail.
+    Image,
+    /// Zip a 9.7 MB input file.
+    Compression,
+    /// BFS over a 100 000-node graph.
+    Scientific,
+    /// ResNet-50-style ImageNet classification.
+    Inference,
+}
+
+impl AppKind {
+    /// All four tasks, in the paper's order.
+    pub const ALL: [AppKind; 4] = [
+        AppKind::Image,
+        AppKind::Compression,
+        AppKind::Scientific,
+        AppKind::Inference,
+    ];
+
+    /// Instantiates the workload.
+    pub fn workload(self) -> Box<dyn Workload> {
+        match self {
+            AppKind::Image => Box::new(image::ImageResize::default()),
+            AppKind::Compression => Box::new(compress::Compression),
+            AppKind::Scientific => Box::new(bfs::Scientific::default()),
+            AppKind::Inference => Box::new(inference::Inference::default()),
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Image => "Image",
+            AppKind::Compression => "Compression",
+            AppKind::Scientific => "Scientific",
+            AppKind::Inference => "Inference",
+        }
+    }
+}
+
+/// Scales a base execution time (calibrated at 0.5 vCPU) to `vcpus`.
+pub(crate) fn scale_exec(base: Duration, vcpus: f64) -> Duration {
+    let v = vcpus.max(0.05);
+    Duration::from_secs_f64(base.as_secs_f64() * 0.5 / v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_scaling_is_inverse_in_vcpus() {
+        let base = Duration::from_secs(10);
+        assert_eq!(scale_exec(base, 0.5), Duration::from_secs(10));
+        assert_eq!(scale_exec(base, 1.0), Duration::from_secs(5));
+        assert_eq!(scale_exec(base, 2.0), Duration::from_secs(2500) / 1000);
+    }
+
+    #[test]
+    fn workloads_are_ordered_by_exec_time() {
+        let times: Vec<Duration> = AppKind::ALL
+            .iter()
+            .map(|k| k.workload().exec_time(0.5))
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] < w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn compression_input_matches_paper() {
+        // 9.7 MB input file (§6.6).
+        let w = AppKind::Compression.workload();
+        assert_eq!(w.input_bytes(), (9.7 * 1024.0 * 1024.0) as u64);
+    }
+}

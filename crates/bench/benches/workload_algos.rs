@@ -1,0 +1,56 @@
+//! Criterion bench: the real workload algorithm implementations
+//! (thumbnail resize, LZ compression, BFS, dense inference).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fastiov::apps::workloads::bfs::{bfs, Graph};
+use fastiov::apps::workloads::compress::{compress, decompress};
+use fastiov::apps::workloads::image::bilinear_resize;
+use fastiov::apps::workloads::inference::Network;
+
+fn resize(c: &mut Criterion) {
+    let src = 256usize;
+    let pixels: Vec<u8> = (0..src * src).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("image_resize");
+    group.throughput(Throughput::Elements((src * src) as u64));
+    group.bench_function("256_to_100", |b| {
+        b.iter(|| std::hint::black_box(bilinear_resize(&pixels, src, 100)))
+    });
+    group.finish();
+}
+
+fn lz(c: &mut Criterion) {
+    let data: Vec<u8> = (0..256 * 1024u64)
+        .map(|i| fastiov::apps::storage::object_byte(7, i))
+        .collect();
+    let mut group = c.benchmark_group("lz77");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("compress_256k", |b| {
+        b.iter(|| std::hint::black_box(compress(&data)))
+    });
+    let compressed = compress(&data);
+    group.bench_function("decompress_256k", |b| {
+        b.iter(|| std::hint::black_box(decompress(&compressed).unwrap()))
+    });
+    group.finish();
+}
+
+fn graph(c: &mut Criterion) {
+    let g = Graph::synthetic(100_000, 8, 42);
+    let mut group = c.benchmark_group("scientific_bfs");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("bfs_100k_nodes", |b| {
+        b.iter(|| std::hint::black_box(bfs(&g, 0)))
+    });
+    group.finish();
+}
+
+fn inference(c: &mut Criterion) {
+    let net = Network::synthetic(128, 256, 4, 1000);
+    let input: Vec<f32> = (0..128).map(|i| i as f32 / 128.0).collect();
+    c.bench_function("inference_forward", |b| {
+        b.iter(|| std::hint::black_box(net.classify(&input)))
+    });
+}
+
+criterion_group!(benches, resize, lz, graph, inference);
+criterion_main!(benches);

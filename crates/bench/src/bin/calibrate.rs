@@ -1,0 +1,102 @@
+//! Calibration check: model output vs the paper's headline statistics.
+//!
+//! Prints, side by side, what the model produces at concurrency 200 and
+//! what the paper reports, for: Tab. 1 stage proportions, the Fig. 1
+//! overhead, and the Fig. 11 headline reductions.
+
+use fastiov::engine::Summary;
+use fastiov::microvm::stages;
+use fastiov::{run_startup_experiment, Baseline, Table};
+use fastiov_bench::{pct, s, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let conc = opts.conc.unwrap_or(200);
+    println!("calibration at concurrency {conc}, scale {}", opts.scale);
+
+    let nonet = run_startup_experiment(&opts.config(Baseline::NoNet, conc)).expect("nonet");
+    let vanilla = run_startup_experiment(&opts.config(Baseline::Vanilla, conc)).expect("vanilla");
+    let fast = run_startup_experiment(&opts.config(Baseline::FastIov, conc)).expect("fastiov");
+
+    let mut t = Table::new(vec!["metric", "model", "paper"]);
+    t.row(vec![
+        "no-net avg (s)".to_string(),
+        s(nonet.total.mean),
+        "4.0".into(),
+    ]);
+    t.row(vec![
+        "vanilla avg (s)".to_string(),
+        s(vanilla.total.mean),
+        "16.2".into(),
+    ]);
+    t.row(vec![
+        "fastiov avg (s)".to_string(),
+        s(fast.total.mean),
+        "5.6".into(),
+    ]);
+    t.row(vec![
+        "sriov overhead @200 (s)".to_string(),
+        s(vanilla.total.mean.saturating_sub(nonet.total.mean)),
+        "12.2".into(),
+    ]);
+    t.row(vec![
+        "overhead vs no-net".to_string(),
+        pct(vanilla.total.mean_secs() / nonet.total.mean_secs() - 1.0),
+        "305".into(),
+    ]);
+    let paper_share = [
+        (stages::CGROUP, 2.9),
+        (stages::DMA_RAM, 13.0),
+        (stages::VIRTIOFS, 13.3),
+        (stages::DMA_IMAGE, 5.6),
+        (stages::VFIO_DEV, 48.1),
+        (stages::VF_DRIVER, 3.4),
+    ];
+    for (stage, paper) in paper_share {
+        t.row(vec![
+            format!("{stage} share avg"),
+            pct(vanilla.stage_share(stage)),
+            format!("{paper}"),
+        ]);
+    }
+    let vf_share = vanilla.vf_related.mean_secs() / vanilla.total.mean_secs();
+    t.row(vec![
+        "VF-related share avg".to_string(),
+        pct(vf_share),
+        "70.1".into(),
+    ]);
+    t.row(vec![
+        "avg reduction F vs V".to_string(),
+        pct(fast.total.mean_reduction_vs(&vanilla.total)),
+        "65.7".into(),
+    ]);
+    t.row(vec![
+        "p99 reduction F vs V".to_string(),
+        pct(fast.total.p99_reduction_vs(&vanilla.total)),
+        "75.4".into(),
+    ]);
+    t.row(vec![
+        "VF overhead reduction".to_string(),
+        pct(vf_overhead_reduction(&fast.vf_related, &vanilla.vf_related)),
+        "96.1".into(),
+    ]);
+    t.row(vec![
+        "fastiov vs no-net avg".to_string(),
+        pct(fast.total.mean_secs() / nonet.total.mean_secs() - 1.0),
+        "39.1".into(),
+    ]);
+    println!("{}", t.render());
+
+    for (name, run) in [("no-net", &nonet), ("vanilla", &vanilla), ("fastiov", &fast)] {
+        println!("{name} stage means:");
+        for (stage, mean) in &run.stage_means {
+            if !mean.is_zero() {
+                println!("  {stage:14} {}", s(*mean));
+            }
+        }
+    }
+}
+
+fn vf_overhead_reduction(fast: &Summary, vanilla: &Summary) -> f64 {
+    1.0 - fast.mean_secs() / vanilla.mean_secs()
+}

@@ -1,0 +1,74 @@
+//! Fig. 11: average startup time across all baselines at concurrency 200,
+//! broken into VF-related time and everything else.
+//!
+//! Paper anchors: FastIOV reduces average startup by 65.7 % vs vanilla
+//! and VF-related time by 96.1 %; the ablation variants reduce by 21.8 %
+//! (-L), 40.3 % (-A), 58.2 % (-S) and 43.7 % (-D); FastIOV beats Pre100
+//! by a further 56.4 %.
+
+use fastiov::{run_startup_experiment, Baseline, StartupRunResult, Table};
+use fastiov_bench::{banner, pct, s, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let conc = opts.conc.unwrap_or(200);
+    banner("Fig. 11 — average startup time per baseline");
+
+    let mut runs: Vec<StartupRunResult> = Vec::new();
+    for b in [
+        Baseline::NoNet,
+        Baseline::Vanilla,
+        Baseline::FastIov,
+        Baseline::FastIovMinusL,
+        Baseline::FastIovMinusA,
+        Baseline::FastIovMinusS,
+        Baseline::FastIovMinusD,
+        Baseline::Prezero(10),
+        Baseline::Prezero(50),
+        Baseline::Prezero(100),
+    ] {
+        eprintln!("running {b} ...");
+        runs.push(run_startup_experiment(&opts.config(b, conc)).expect("run"));
+    }
+    let vanilla = runs
+        .iter()
+        .find(|r| r.baseline == Baseline::Vanilla)
+        .expect("vanilla present")
+        .clone();
+
+    let mut t = Table::new(vec![
+        "baseline",
+        "avg total (s)",
+        "vf-related (s)",
+        "others (s)",
+        "reduction vs vanilla (%)",
+    ]);
+    for run in &runs {
+        let others = run.total.mean.saturating_sub(run.vf_related.mean);
+        t.row(vec![
+            run.baseline.label(),
+            s(run.total.mean),
+            s(run.vf_related.mean),
+            s(others),
+            pct(run.total.mean_reduction_vs(&vanilla.total)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper reductions vs vanilla: FastIOV 65.7, -L 21.8, -A 40.3, -S 58.2, -D 43.7 (%)"
+    );
+    let fast = runs
+        .iter()
+        .find(|r| r.baseline == Baseline::FastIov)
+        .expect("fastiov present");
+    if let Some(pre100) = runs.iter().find(|r| r.baseline == Baseline::Prezero(100)) {
+        println!(
+            "FastIOV vs Pre100 average reduction: {} (paper: 56.4%)",
+            pct(fast.total.mean_reduction_vs(&pre100.total))
+        );
+    }
+    println!(
+        "FastIOV VF-related reduction vs vanilla: {} (paper: 96.1%)",
+        pct(fast.vf_related.mean_reduction_vs(&vanilla.vf_related))
+    );
+}

@@ -1,0 +1,48 @@
+//! Fig. 12: startup-time distribution (CDF) at concurrency 200 for
+//! No-network, Vanilla, and FastIOV.
+//!
+//! Paper anchors: FastIOV cuts the p99 by 75.4 % vs vanilla and sits
+//! 11.6 % above the no-network p99; vanilla sits 354.5 % above it.
+
+use fastiov::engine::cdf_points;
+use fastiov::{run_startup_experiment, Baseline, Table};
+use fastiov_bench::{banner, pct, s, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let conc = opts.conc.unwrap_or(200);
+    banner("Fig. 12 — startup time distribution, CSV: baseline,time_s,cdf");
+
+    let mut summaries = Vec::new();
+    for b in [Baseline::NoNet, Baseline::Vanilla, Baseline::FastIov] {
+        let run = run_startup_experiment(&opts.config(b, conc)).expect("run");
+        for (x, y) in cdf_points(&run.totals()) {
+            println!("{},{x:.3},{y:.4}", b.label());
+        }
+        summaries.push(run);
+    }
+
+    banner("summary");
+    let mut t = Table::new(vec!["baseline", "mean (s)", "p50 (s)", "p99 (s)"]);
+    for run in &summaries {
+        t.row(vec![
+            run.baseline.label(),
+            s(run.total.mean),
+            s(run.total.p50),
+            s(run.total.p99),
+        ]);
+    }
+    println!("{}", t.render());
+    let nonet = &summaries[0];
+    let vanilla = &summaries[1];
+    let fast = &summaries[2];
+    println!(
+        "p99 reduction FastIOV vs vanilla: {} (paper: 75.4%)",
+        pct(fast.total.p99_reduction_vs(&vanilla.total))
+    );
+    println!(
+        "p99 above no-net — FastIOV: {} (paper: 11.6%), vanilla: {} (paper: 354.5%)",
+        pct(fast.total.p99_secs() / nonet.total.p99_secs() - 1.0),
+        pct(vanilla.total.p99_secs() / nonet.total.p99_secs() - 1.0),
+    );
+}

@@ -1,0 +1,61 @@
+//! Fig. 14 (§6.4): bottleneck differences with a software CNI.
+//!
+//! Compares IPvtap with vanilla SR-IOV and FastIOV at concurrency 200.
+//! Paper anchors: IPvtap starts faster than vanilla SR-IOV (no
+//! passthrough setup) but FastIOV beats IPvtap by 41.3 % in total and
+//! 31.8 % in average startup; IPvtap's cost concentrates in `addCNI`
+//! (rtnl contention) and cgroup operations.
+
+use fastiov::microvm::stages;
+use fastiov::{run_startup_experiment, Baseline, Table};
+use fastiov_bench::{banner, pct, s, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let conc = opts.conc.unwrap_or(200);
+    banner("Fig. 14 — software CNI (IPvtap) vs SR-IOV baselines");
+
+    let vanilla = run_startup_experiment(&opts.config(Baseline::Vanilla, conc)).expect("vanilla");
+    let ipvtap = run_startup_experiment(&opts.config(Baseline::Ipvtap, conc)).expect("ipvtap");
+    let fast = run_startup_experiment(&opts.config(Baseline::FastIov, conc)).expect("fastiov");
+
+    let mut t = Table::new(vec![
+        "baseline",
+        "avg (s)",
+        "p99 (s)",
+        "addCNI (s)",
+        "cgroup (s)",
+        "vf-related (s)",
+    ]);
+    for run in [&vanilla, &ipvtap, &fast] {
+        t.row(vec![
+            run.baseline.label(),
+            s(run.total.mean),
+            s(run.total.p99),
+            s(*run
+                .stage_means
+                .get(stages::ADD_CNI)
+                .unwrap_or(&std::time::Duration::ZERO)),
+            s(*run
+                .stage_means
+                .get(stages::CGROUP)
+                .unwrap_or(&std::time::Duration::ZERO)),
+            s(run.vf_related.mean),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "IPvtap faster than vanilla SR-IOV: {} (paper: yes)",
+        ipvtap.total.mean < vanilla.total.mean
+    );
+    println!(
+        "FastIOV avg lower than IPvtap by {} (paper: 31.8%)",
+        pct(fast.total.mean_reduction_vs(&ipvtap.total))
+    );
+    let total_fast: f64 = fast.reports.iter().map(|r| r.total.as_secs_f64()).sum();
+    let total_ipv: f64 = ipvtap.reports.iter().map(|r| r.total.as_secs_f64()).sum();
+    println!(
+        "FastIOV total lower than IPvtap by {} (paper: 41.3%)",
+        pct(1.0 - total_fast / total_ipv)
+    );
+}

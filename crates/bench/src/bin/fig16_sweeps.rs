@@ -1,0 +1,144 @@
+//! Fig. 16 (§6.6): serverless application performance under varying
+//! concurrency (panels a–d), varying resource allocation (e–h), and a
+//! fully loaded server (i–l) — one panel per application.
+//!
+//! Paper anchors: (i) gain grows with concurrency; (ii) at fixed
+//! concurrency, FastIOV's completion time stays flat or *drops* with more
+//! resources (it converts resources into shorter execution) while
+//! vanilla's startup penalty grows; (iii) fully loaded, the reduction is
+//! most pronounced at low concurrency.
+//!
+//! Pass `conc`, `mem`, or `full` to run one sweep (default: all).
+
+use fastiov::apps::AppKind;
+use fastiov::hostmem::addr::units::{gib, mib};
+use fastiov::{run_app_experiment, Baseline, ExperimentConfig, Table};
+use fastiov_bench::{banner, pct, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let which: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--") && a.parse::<f64>().is_err())
+        .collect();
+    let all = which.is_empty();
+    let run_sweep = |name: &str| all || which.iter().any(|w| w == name);
+
+    if run_sweep("conc") {
+        sweep_concurrency(&opts);
+    }
+    if run_sweep("mem") {
+        sweep_memory(&opts);
+    }
+    if run_sweep("full") {
+        sweep_fully_loaded(&opts);
+    }
+}
+
+fn pair(
+    van_cfg: &ExperimentConfig,
+    fast_cfg: &ExperimentConfig,
+    app: AppKind,
+) -> (f64, f64) {
+    let van = run_app_experiment(van_cfg, app).expect("vanilla app run");
+    let fast = run_app_experiment(fast_cfg, app).expect("fastiov app run");
+    (
+        van.completion.mean.as_secs_f64(),
+        fast.completion.mean.as_secs_f64(),
+    )
+}
+
+fn sweep_concurrency(opts: &HarnessOpts) {
+    banner("Fig. 16 a–d — completion time vs concurrency");
+    for app in AppKind::ALL {
+        let mut t = Table::new(vec!["concurrency", "vanilla (s)", "fastiov (s)", "R-ratio (%)"]);
+        for conc in [10u32, 50, 100, 200] {
+            let (v, f) = pair(
+                &opts.config(Baseline::Vanilla, conc),
+                &opts.config(Baseline::FastIov, conc),
+                app,
+            );
+            t.row(vec![
+                conc.to_string(),
+                format!("{v:.2}"),
+                format!("{f:.2}"),
+                pct(1.0 - f / v),
+            ]);
+        }
+        println!("[{}]\n{}", app.name(), t.render());
+    }
+    println!("paper: higher gain at higher concurrency");
+}
+
+fn sweep_memory(opts: &HarnessOpts) {
+    banner("Fig. 16 e–h — completion time vs resource allocation (conc 50)");
+    for app in AppKind::ALL {
+        let mut t = Table::new(vec!["resources", "vanilla (s)", "fastiov (s)", "R-ratio (%)"]);
+        let mut fast_first = None;
+        let mut fast_last = None;
+        for (label, ram, vcpus) in [
+            ("512MB/0.5c", mib(512), 0.5),
+            ("1GB/1c", gib(1), 1.0),
+            ("2GB/2c", gib(2), 2.0),
+        ] {
+            let mut van_cfg = opts.config(Baseline::Vanilla, 50);
+            van_cfg.ram_bytes = ram;
+            van_cfg.vcpus = vcpus;
+            let mut fast_cfg = opts.config(Baseline::FastIov, 50);
+            fast_cfg.ram_bytes = ram;
+            fast_cfg.vcpus = vcpus;
+            let (v, f) = pair(&van_cfg, &fast_cfg, app);
+            if fast_first.is_none() {
+                fast_first = Some(f);
+            }
+            fast_last = Some(f);
+            t.row(vec![
+                label.to_string(),
+                format!("{v:.2}"),
+                format!("{f:.2}"),
+                pct(1.0 - f / v),
+            ]);
+        }
+        println!("[{}]\n{}", app.name(), t.render());
+        if let (Some(f0), Some(f1)) = (fast_first, fast_last) {
+            println!(
+                "FastIOV completion with 4x resources: {} (paper: flat or decreasing)\n",
+                if f1 <= f0 * 1.05 { "flat/decreasing" } else { "increasing" }
+            );
+        }
+    }
+}
+
+fn sweep_fully_loaded(opts: &HarnessOpts) {
+    banner("Fig. 16 i–l — fully loaded server");
+    let usable = gib(192);
+    for app in AppKind::ALL {
+        let mut t = Table::new(vec![
+            "concurrency",
+            "mem each",
+            "vanilla (s)",
+            "fastiov (s)",
+            "R-ratio (%)",
+        ]);
+        for conc in [10u32, 50, 100, 200] {
+            let ram = (usable / u64::from(conc)).min(gib(8));
+            let vcpus = 112.0 / f64::from(conc);
+            let mut van_cfg = opts.config(Baseline::Vanilla, conc);
+            van_cfg.ram_bytes = ram;
+            van_cfg.vcpus = vcpus;
+            let mut fast_cfg = opts.config(Baseline::FastIov, conc);
+            fast_cfg.ram_bytes = ram;
+            fast_cfg.vcpus = vcpus;
+            let (v, f) = pair(&van_cfg, &fast_cfg, app);
+            t.row(vec![
+                conc.to_string(),
+                format!("{}MB", ram / mib(1)),
+                format!("{v:.2}"),
+                format!("{f:.2}"),
+                pct(1.0 - f / v),
+            ]);
+        }
+        println!("[{}]\n{}", app.name(), t.render());
+    }
+    println!("paper: obvious reduction at every setting, largest at low concurrency");
+}

@@ -1,0 +1,39 @@
+//! Regenerates every table and figure in sequence by invoking the
+//! individual harness binaries' logic is intentionally *not* duplicated
+//! here: this binary shells out to its siblings so each figure's output
+//! stays reproducible in isolation.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let bins = [
+        "calibrate",
+        "fig01_overhead",
+        "fig05_breakdown",
+        "fig11_baselines",
+        "fig12_cdf",
+        "fig13_factors",
+        "fig14_software_cni",
+        "sec65_memperf",
+        "fig15_serverless",
+        "fig16_sweeps",
+        "ext_vdpa",
+        "ablation_fragmentation",
+        "ablation_scrubber",
+    ];
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall figures regenerated");
+}

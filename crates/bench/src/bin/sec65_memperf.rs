@@ -1,0 +1,77 @@
+//! §6.5: impact of FastIOV on in-guest memory access performance.
+//!
+//! A Tinymembench-style probe (memcpy on 2048-byte blocks + random byte
+//! reads) inside one microVM, under vanilla eager zeroing and FastIOV
+//! decoupled zeroing. Paper anchor: throughput degradation and latency
+//! increase both < 1 % — FastIOV intercepts only the first EPT fault per
+//! page, so steady-state accesses are untouched.
+
+use fastiov::hostmem::addr::units::mib;
+use fastiov::{run_memperf, Baseline, ExperimentConfig, Table};
+use fastiov_bench::{banner, pct, HarnessOpts};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    banner("§6.5 — in-guest memory access performance");
+    let base = ExperimentConfig::paper_scaled(Baseline::Vanilla, 1, opts.scale);
+    // The reported durations are model-exact (derived from event counts),
+    // so a modest probe size suffices; the accesses are still genuinely
+    // executed against guest memory.
+    let sweep = mib(32);
+    let iterations = 3;
+    let reads = 5_000;
+
+    let van = run_memperf(Baseline::Vanilla, &base, sweep, iterations, reads).expect("vanilla");
+    let fast = run_memperf(Baseline::FastIov, &base, sweep, iterations, reads).expect("fastiov");
+
+    let mut t = Table::new(vec![
+        "metric",
+        "vanilla",
+        "fastiov",
+        "delta (%)",
+    ]);
+    let delta = |a: f64, b: f64| if a == 0.0 { 0.0 } else { b / a - 1.0 };
+    t.row(vec![
+        "cold sweep (ms)".to_string(),
+        format!("{:.2}", van.cold_sweep.as_secs_f64() * 1e3),
+        format!("{:.2}", fast.cold_sweep.as_secs_f64() * 1e3),
+        pct(delta(
+            van.cold_sweep.as_secs_f64(),
+            fast.cold_sweep.as_secs_f64(),
+        )),
+    ]);
+    t.row(vec![
+        "steady sweep (ms)".to_string(),
+        format!("{:.3}", van.steady_sweep.as_secs_f64() * 1e3),
+        format!("{:.3}", fast.steady_sweep.as_secs_f64() * 1e3),
+        pct(delta(
+            van.steady_sweep.as_secs_f64(),
+            fast.steady_sweep.as_secs_f64(),
+        )),
+    ]);
+    t.row(vec![
+        "random reads (ms)".to_string(),
+        format!("{:.3}", van.random_reads.as_secs_f64() * 1e3),
+        format!("{:.3}", fast.random_reads.as_secs_f64() * 1e3),
+        pct(delta(
+            van.random_reads.as_secs_f64(),
+            fast.random_reads.as_secs_f64(),
+        )),
+    ]);
+    t.row(vec![
+        "EPT faults".to_string(),
+        van.ept_faults.to_string(),
+        fast.ept_faults.to_string(),
+        String::new(),
+    ]);
+    t.row(vec![
+        "pages lazily zeroed".to_string(),
+        van.lazily_zeroed.to_string(),
+        fast.lazily_zeroed.to_string(),
+        String::new(),
+    ]);
+    println!("{}", t.render());
+    println!("paper: steady-state throughput/latency degradation < 1%");
+    println!("note: the lazy-zeroing cost appears only in the cold (first-touch) sweep,");
+    println!("which is exactly the cost FastIOV moved off the startup path.");
+}

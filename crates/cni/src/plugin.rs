@@ -1,0 +1,446 @@
+//! The CNI plugin implementations.
+
+use crate::nns::{Nns, NnsRegistry};
+use crate::sriovdp::VfProvider;
+use crate::{CniError, Result};
+use fastiov_microvm::{stages, Host};
+use fastiov_nic::{AdminCmd, MacAddr, NetdevName, VfId};
+use fastiov_simtime::StageLog;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cost parameters of the CNI layer, separate from [`Host`] hardware
+/// parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CniParams {
+    /// Namespace creation cost.
+    pub nns_create: Duration,
+    /// rtnl hold while moving an interface into an NNS.
+    pub move_hold: Duration,
+    /// rtnl hold while configuring addresses.
+    pub ip_hold: Duration,
+    /// rtnl hold while creating an ipvtap device — the dominant `addCNI`
+    /// serialization of the software CNI (§6.4).
+    pub ipvtap_create_hold: Duration,
+    /// Non-serialized part of ipvtap device setup.
+    pub ipvtap_setup: Duration,
+}
+
+impl CniParams {
+    /// Paper-calibrated costs: `addCNI` averages ≈ 3 s at concurrency 200
+    /// through rtnl serialization (Fig. 14).
+    pub fn paper() -> Self {
+        CniParams {
+            nns_create: Duration::from_millis(10),
+            move_hold: Duration::from_millis(3),
+            ip_hold: Duration::from_millis(2),
+            ipvtap_create_hold: Duration::from_millis(30),
+            ipvtap_setup: Duration::from_millis(60),
+        }
+    }
+}
+
+/// Pool of free VFs, owned by the SR-IOV plugins.
+pub struct VfAllocator {
+    free: Mutex<Vec<VfId>>,
+}
+
+impl VfAllocator {
+    /// Creates an allocator over VFs `0..n`.
+    pub fn new(n: u16) -> Arc<Self> {
+        Arc::new(VfAllocator {
+            free: Mutex::new((0..n).rev().map(VfId).collect()),
+        })
+    }
+
+    /// Takes a free VF.
+    pub fn allocate(&self) -> Result<VfId> {
+        self.free.lock().pop().ok_or(CniError::NoFreeVf)
+    }
+
+    /// Returns a VF to the pool.
+    pub fn release(&self, vf: VfId) {
+        self.free.lock().push(vf);
+    }
+
+    /// Free VFs remaining.
+    pub fn available(&self) -> usize {
+        self.free.lock().len()
+    }
+}
+
+/// What the runtime needs from the CNI.
+#[derive(Debug, Clone)]
+pub enum CniResult {
+    /// A VF will be passed through to the microVM.
+    Passthrough {
+        /// The allocated VF.
+        vf: VfId,
+        /// Interface the runtime detects in the NNS.
+        netdev: NetdevName,
+        /// Whether the runtime must unbind the host network driver and
+        /// rebind to VFIO before attaching (the original plugin's flaw).
+        needs_host_rebind: bool,
+        /// Address configured on the interface.
+        ip: [u8; 4],
+    },
+    /// A software virtual device (no passthrough).
+    Software {
+        /// The created device.
+        netdev: NetdevName,
+        /// Address configured on the device.
+        ip: [u8; 4],
+    },
+}
+
+/// Identity of the pod being networked.
+#[derive(Debug, Clone, Copy)]
+pub struct PodNetSpec {
+    /// Hypervisor PID (the microVM identity).
+    pub pid: u64,
+    /// Dense container index, used for address derivation.
+    pub index: u32,
+}
+
+impl PodNetSpec {
+    /// Deterministic pod address.
+    pub fn ip(&self) -> [u8; 4] {
+        [10, 88, (self.index >> 8) as u8, self.index as u8]
+    }
+}
+
+/// A CNI plugin: the `t_config` step of Fig. 4.
+pub trait CniPlugin: Send + Sync {
+    /// Plugin name (reporting).
+    fn name(&self) -> &'static str;
+
+    /// Sets up networking for a pod inside `nns`.
+    fn setup(
+        &self,
+        host: &Arc<Host>,
+        spec: &PodNetSpec,
+        nns: &Nns,
+        registry: &NnsRegistry,
+        log: &mut StageLog,
+    ) -> Result<CniResult>;
+
+    /// Releases what `setup` created.
+    fn teardown(&self, host: &Arc<Host>, result: &CniResult) -> Result<()>;
+}
+
+/// Shared SR-IOV configuration flow: VF parameters via the PF, an
+/// interface in the NNS, addresses on it.
+fn sriov_common(
+    host: &Arc<Host>,
+    spec: &PodNetSpec,
+    nns: &Nns,
+    registry: &NnsRegistry,
+    vfs: &dyn VfProvider,
+    bind_host_driver: bool,
+) -> Result<CniResult> {
+    let vf = vfs.allocate()?;
+    let vf_ref = host.pf.vf(vf)?;
+    // VF parameter setup through the PF (MAC + VLAN).
+    host.pf
+        .admin()
+        .submit(&vf_ref, AdminCmd::SetMac(MacAddr::for_vf(vf.0)));
+    host.pf
+        .admin()
+        .submit(&vf_ref, AdminCmd::SetVlan(100 + (spec.index % 4000) as u16));
+    let netdev = if bind_host_driver {
+        host.pf.bind_host_driver(vf)?
+    } else {
+        host.pf.create_dummy_netdev(vf)?
+    };
+    registry.move_into(nns, netdev.clone());
+    let ip = spec.ip();
+    registry.configure_ip(nns, ip);
+    Ok(CniResult::Passthrough {
+        vf,
+        netdev,
+        needs_host_rebind: bind_host_driver,
+        ip,
+    })
+}
+
+/// The upstream SR-IOV CNI (reference \[23\]): binds the VF to the host network driver
+/// every launch (the implementation flaw of §5).
+pub struct SriovCniOriginal {
+    vfs: Arc<dyn VfProvider>,
+}
+
+impl SriovCniOriginal {
+    /// Creates the plugin over a VF source (a plain pool or the
+    /// kubelet-mediated device plugin).
+    pub fn new(vfs: Arc<dyn VfProvider>) -> Self {
+        SriovCniOriginal { vfs }
+    }
+}
+
+impl CniPlugin for SriovCniOriginal {
+    fn name(&self) -> &'static str {
+        "sriov-original"
+    }
+
+    fn setup(
+        &self,
+        host: &Arc<Host>,
+        spec: &PodNetSpec,
+        nns: &Nns,
+        registry: &NnsRegistry,
+        _log: &mut StageLog,
+    ) -> Result<CniResult> {
+        sriov_common(host, spec, nns, registry, self.vfs.as_ref(), true)
+    }
+
+    fn teardown(&self, _host: &Arc<Host>, result: &CniResult) -> Result<()> {
+        if let CniResult::Passthrough { vf, .. } = result {
+            self.vfs.release(*vf);
+        }
+        Ok(())
+    }
+}
+
+/// The fixed SR-IOV CNI (§5): VFs pre-bound to VFIO once; dummy netdevs
+/// carry identity and configuration. The paper's *vanilla* baseline.
+pub struct SriovCniFixed {
+    vfs: Arc<dyn VfProvider>,
+}
+
+impl SriovCniFixed {
+    /// Creates the plugin over a VF source (a plain pool or the
+    /// kubelet-mediated device plugin).
+    pub fn new(vfs: Arc<dyn VfProvider>) -> Self {
+        SriovCniFixed { vfs }
+    }
+}
+
+impl CniPlugin for SriovCniFixed {
+    fn name(&self) -> &'static str {
+        "sriov-fixed"
+    }
+
+    fn setup(
+        &self,
+        host: &Arc<Host>,
+        spec: &PodNetSpec,
+        nns: &Nns,
+        registry: &NnsRegistry,
+        _log: &mut StageLog,
+    ) -> Result<CniResult> {
+        sriov_common(host, spec, nns, registry, self.vfs.as_ref(), false)
+    }
+
+    fn teardown(&self, _host: &Arc<Host>, result: &CniResult) -> Result<()> {
+        if let CniResult::Passthrough { vf, .. } = result {
+            self.vfs.release(*vf);
+        }
+        Ok(())
+    }
+}
+
+/// The FastIOV CNI plugin (Fig. 10): the fixed flow, plus it notifies the
+/// hypervisor of the skip region and requests the FastIOV kernel-side
+/// optimizations. Those policies are carried in the microVM configuration
+/// the runtime builds; the network-side flow is identical to
+/// [`SriovCniFixed`].
+pub struct FastIovCni {
+    vfs: Arc<dyn VfProvider>,
+}
+
+impl FastIovCni {
+    /// Creates the plugin over a VF source (a plain pool or the
+    /// kubelet-mediated device plugin).
+    pub fn new(vfs: Arc<dyn VfProvider>) -> Self {
+        FastIovCni { vfs }
+    }
+}
+
+impl CniPlugin for FastIovCni {
+    fn name(&self) -> &'static str {
+        "fastiov"
+    }
+
+    fn setup(
+        &self,
+        host: &Arc<Host>,
+        spec: &PodNetSpec,
+        nns: &Nns,
+        registry: &NnsRegistry,
+        _log: &mut StageLog,
+    ) -> Result<CniResult> {
+        sriov_common(host, spec, nns, registry, self.vfs.as_ref(), false)
+    }
+
+    fn teardown(&self, _host: &Arc<Host>, result: &CniResult) -> Result<()> {
+        if let CniResult::Passthrough { vf, .. } = result {
+            self.vfs.release(*vf);
+        }
+        Ok(())
+    }
+}
+
+/// The IPvtap software CNI (§6.4): a kernel virtual device, rtnl-heavy to
+/// create, with an emulated data plane.
+pub struct IpvtapCni {
+    params: CniParams,
+}
+
+impl IpvtapCni {
+    /// Creates the plugin.
+    pub fn new(params: CniParams) -> Self {
+        IpvtapCni { params }
+    }
+}
+
+impl CniPlugin for IpvtapCni {
+    fn name(&self) -> &'static str {
+        "ipvtap"
+    }
+
+    fn setup(
+        &self,
+        host: &Arc<Host>,
+        spec: &PodNetSpec,
+        nns: &Nns,
+        registry: &NnsRegistry,
+        log: &mut StageLog,
+    ) -> Result<CniResult> {
+        let netdev = log.stage(stages::ADD_CNI, || {
+            // Device creation: kernel work plus the rtnl-serialized
+            // section.
+            host.clock.sleep(self.params.ipvtap_setup);
+            registry.rtnl().with(self.params.ipvtap_create_hold, || {
+                NetdevName(format!("ipvtap{}", spec.index))
+            })
+        });
+        registry.move_into(nns, netdev.clone());
+        let ip = spec.ip();
+        registry.configure_ip(nns, ip);
+        Ok(CniResult::Software { netdev, ip })
+    }
+
+    fn teardown(&self, _host: &Arc<Host>, _result: &CniResult) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nns::RtnlLock;
+    use fastiov_microvm::HostParams;
+    use fastiov_pci::DriverBinding;
+    use fastiov_vfio::LockPolicy;
+
+    fn setup() -> (Arc<Host>, Arc<NnsRegistry>, Arc<VfAllocator>) {
+        let host = Host::new(HostParams::for_tests(), LockPolicy::Hierarchical).unwrap();
+        let p = CniParams::paper();
+        let rtnl = RtnlLock::new(host.clock.clone());
+        let registry = NnsRegistry::new(
+            host.clock.clone(),
+            rtnl,
+            p.nns_create,
+            p.move_hold,
+            p.ip_hold,
+        );
+        let vfs = VfAllocator::new(host.params.total_vfs.min(host.pf.vf_count() as u16));
+        (host, registry, vfs)
+    }
+
+    #[test]
+    fn vf_allocator_round_trip() {
+        let vfs = VfAllocator::new(2);
+        let a = vfs.allocate().unwrap();
+        let b = vfs.allocate().unwrap();
+        assert_ne!(a, b);
+        assert!(matches!(vfs.allocate(), Err(CniError::NoFreeVf)));
+        vfs.release(a);
+        assert_eq!(vfs.available(), 1);
+    }
+
+    #[test]
+    fn fixed_plugin_uses_dummy_netdev() {
+        let (host, registry, vfs) = setup();
+        let plugin = SriovCniFixed::new(Arc::clone(&vfs) as Arc<dyn VfProvider>);
+        let spec = PodNetSpec { pid: 1, index: 0 };
+        let nns = registry.create(1);
+        let mut log = StageLog::begin(host.clock.clone());
+        let r = plugin.setup(&host, &spec, &nns, &registry, &mut log).unwrap();
+        match &r {
+            CniResult::Passthrough {
+                vf,
+                netdev,
+                needs_host_rebind,
+                ip,
+            } => {
+                assert!(!needs_host_rebind);
+                assert!(netdev.0.starts_with("dummy-vf"));
+                assert!(nns.has_interface(netdev));
+                assert_eq!(nns.ip(), Some(*ip));
+                // The VF stays unbound from the host driver (pre-binding
+                // to VFIO is the host's boot-time job).
+                assert_ne!(
+                    host.pf.vf(*vf).unwrap().pci().driver(),
+                    DriverBinding::HostNetdev
+                );
+                // MAC was configured through the PF.
+                assert!(host.pf.vf(*vf).unwrap().state().mac.is_some());
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        plugin.teardown(&host, &r).unwrap();
+        assert_eq!(vfs.available(), 16);
+    }
+
+    #[test]
+    fn original_plugin_binds_host_driver() {
+        let (host, registry, vfs) = setup();
+        let plugin = SriovCniOriginal::new(vfs);
+        let spec = PodNetSpec { pid: 2, index: 1 };
+        let nns = registry.create(2);
+        let mut log = StageLog::begin(host.clock.clone());
+        let r = plugin.setup(&host, &spec, &nns, &registry, &mut log).unwrap();
+        match &r {
+            CniResult::Passthrough {
+                vf,
+                needs_host_rebind,
+                ..
+            } => {
+                assert!(needs_host_rebind);
+                assert_eq!(
+                    host.pf.vf(*vf).unwrap().pci().driver(),
+                    DriverBinding::HostNetdev
+                );
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ipvtap_plugin_creates_software_device_and_logs_addcni() {
+        let (host, registry, _) = setup();
+        let plugin = IpvtapCni::new(CniParams::paper());
+        let spec = PodNetSpec { pid: 3, index: 7 };
+        let nns = registry.create(3);
+        let mut log = StageLog::begin(host.clock.clone());
+        let r = plugin.setup(&host, &spec, &nns, &registry, &mut log).unwrap();
+        match &r {
+            CniResult::Software { netdev, .. } => {
+                assert_eq!(netdev.0, "ipvtap7");
+                assert!(nns.has_interface(netdev));
+            }
+            other => panic!("unexpected result {other:?}"),
+        }
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.records()[0].name, stages::ADD_CNI);
+    }
+
+    #[test]
+    fn pod_ips_are_unique_per_index() {
+        let a = PodNetSpec { pid: 1, index: 1 }.ip();
+        let b = PodNetSpec { pid: 1, index: 257 }.ip();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,215 @@
+//! The experiment baselines of §6.1 and how each is assembled.
+
+use fastiov_cni::{
+    CniParams, CniPlugin, DevicePlugin, FastIovCni, IpvtapCni, SriovCniFixed, SriovCniOriginal,
+    VfAllocator, VfProvider,
+};
+use fastiov_engine::{PodNetworking, VmOptions};
+use fastiov_microvm::{Host, ZeroingMode};
+use fastiov_vfio::LockPolicy;
+use std::fmt;
+use std::sync::Arc;
+
+/// One experiment baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// Startup without any network: the lower bound.
+    NoNet,
+    /// The unmodified upstream SR-IOV CNI (bind/rebind per launch, §5).
+    /// Only used to demonstrate the implementation flaw; all paper
+    /// comparisons use [`Baseline::Vanilla`].
+    VanillaOriginal,
+    /// The fixed SR-IOV CNI — the paper's vanilla baseline.
+    Vanilla,
+    /// Full FastIOV: all four optimizations.
+    FastIov,
+    /// FastIOV without Lock decomposition.
+    FastIovMinusL,
+    /// FastIOV without Asynchronous VF driver init.
+    FastIovMinusA,
+    /// FastIOV without mapping Skipping.
+    FastIovMinusS,
+    /// FastIOV without Decoupled zeroing.
+    FastIovMinusD,
+    /// Vanilla over a memory pool pre-zeroed to the given percentage
+    /// (HawkEye-style; Pre10/Pre50/Pre100 in §6.1).
+    Prezero(u8),
+    /// The IPvtap software CNI (§6.4).
+    Ipvtap,
+    /// Extension (§7 discussion): FastIOV with a vDPA-mediated VF — the
+    /// guest uses the standard virtio driver, removing the vendor VF
+    /// driver initialization entirely. Not a paper baseline; included to
+    /// quantify the direction the paper sketches as future work.
+    FastIovVdpa,
+}
+
+impl Baseline {
+    /// The baselines of Fig. 11, in presentation order.
+    pub const FIG11: [Baseline; 9] = [
+        Baseline::NoNet,
+        Baseline::Vanilla,
+        Baseline::FastIov,
+        Baseline::FastIovMinusL,
+        Baseline::FastIovMinusA,
+        Baseline::FastIovMinusS,
+        Baseline::FastIovMinusD,
+        Baseline::Prezero(50),
+        Baseline::Prezero(100),
+    ];
+
+    /// VFIO devset lock policy for this baseline.
+    pub fn lock_policy(self) -> LockPolicy {
+        match self {
+            Baseline::FastIov
+            | Baseline::FastIovMinusA
+            | Baseline::FastIovMinusS
+            | Baseline::FastIovMinusD
+            | Baseline::FastIovVdpa => LockPolicy::Hierarchical,
+            _ => LockPolicy::Coarse,
+        }
+    }
+
+    /// Fraction of free memory pre-zeroed before the run.
+    pub fn prezero_fraction(self) -> f64 {
+        match self {
+            Baseline::Prezero(pct) => f64::from(pct) / 100.0,
+            _ => 0.0,
+        }
+    }
+
+    /// MicroVM options for this baseline.
+    pub fn vm_options(self, ram_bytes: u64, image_bytes: u64) -> VmOptions {
+        let mut opts = VmOptions::vanilla(ram_bytes, image_bytes);
+        match self {
+            Baseline::FastIov => {
+                opts = VmOptions::fastiov(ram_bytes, image_bytes);
+            }
+            Baseline::FastIovMinusL => {
+                // All but the lock decomposition (the lock lives in the
+                // host policy, not here).
+                opts = VmOptions::fastiov(ram_bytes, image_bytes);
+            }
+            Baseline::FastIovMinusA => {
+                opts = VmOptions::fastiov(ram_bytes, image_bytes);
+                opts.async_vf_init = false;
+            }
+            Baseline::FastIovMinusS => {
+                opts = VmOptions::fastiov(ram_bytes, image_bytes);
+                opts.skip_image_mapping = false;
+            }
+            Baseline::FastIovMinusD => {
+                opts = VmOptions::fastiov(ram_bytes, image_bytes);
+                opts.zeroing = ZeroingMode::Eager;
+            }
+            Baseline::FastIovVdpa => {
+                opts = VmOptions::fastiov(ram_bytes, image_bytes);
+                // The virtio probe is cheap and synchronous; asynchronous
+                // init has nothing left to mask.
+                opts.async_vf_init = false;
+            }
+            _ => {}
+        }
+        opts
+    }
+
+    /// Builds the pod networking (CNI plugin) for this baseline on `host`,
+    /// pre-binding VFs where the fixed flow requires it.
+    pub fn networking(self, host: &Arc<Host>) -> fastiov_microvm::Result<PodNetworking> {
+        Ok(match self {
+            Baseline::NoNet => PodNetworking::None,
+            Baseline::Ipvtap => {
+                PodNetworking::Software(Arc::new(IpvtapCni::new(CniParams::paper())))
+            }
+            Baseline::VanillaOriginal => {
+                // No pre-binding: the original plugin binds per launch.
+                let vfs = VfAllocator::new(host.pf.vf_count() as u16) as Arc<dyn VfProvider>;
+                PodNetworking::Sriov(Arc::new(SriovCniOriginal::new(vfs)))
+            }
+            Baseline::Vanilla | Baseline::Prezero(_) => {
+                host.prebind_all_vfs()?;
+                // VFs flow through the sriovdp device plugin, as deployed.
+                let vfs =
+                    DevicePlugin::discover("intel.com/sriov_vf", &host.pf) as Arc<dyn VfProvider>;
+                PodNetworking::Sriov(Arc::new(SriovCniFixed::new(vfs)) as Arc<dyn CniPlugin>)
+            }
+            Baseline::FastIovVdpa => {
+                host.prebind_all_vfs()?;
+                let vfs =
+                    DevicePlugin::discover("intel.com/sriov_vf", &host.pf) as Arc<dyn VfProvider>;
+                PodNetworking::Vdpa(Arc::new(FastIovCni::new(vfs)) as Arc<dyn CniPlugin>)
+            }
+            _ => {
+                host.prebind_all_vfs()?;
+                let vfs =
+                    DevicePlugin::discover("intel.com/sriov_vf", &host.pf) as Arc<dyn VfProvider>;
+                PodNetworking::Sriov(Arc::new(FastIovCni::new(vfs)) as Arc<dyn CniPlugin>)
+            }
+        })
+    }
+
+    /// Short label used in tables (matches the paper's figure legends).
+    pub fn label(self) -> String {
+        match self {
+            Baseline::NoNet => "No-Net".into(),
+            Baseline::VanillaOriginal => "Vanilla-Orig".into(),
+            Baseline::Vanilla => "Vanilla".into(),
+            Baseline::FastIov => "FastIOV".into(),
+            Baseline::FastIovMinusL => "FastIOV-L".into(),
+            Baseline::FastIovMinusA => "FastIOV-A".into(),
+            Baseline::FastIovMinusS => "FastIOV-S".into(),
+            Baseline::FastIovMinusD => "FastIOV-D".into(),
+            Baseline::Prezero(p) => format!("Pre{p}"),
+            Baseline::Ipvtap => "IPvtap".into(),
+            Baseline::FastIovVdpa => "FastIOV+vDPA".into(),
+        }
+    }
+}
+
+impl fmt::Display for Baseline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_policies_match_paper_matrix() {
+        assert_eq!(Baseline::Vanilla.lock_policy(), LockPolicy::Coarse);
+        assert_eq!(Baseline::FastIov.lock_policy(), LockPolicy::Hierarchical);
+        // Removing L means the coarse lock comes back.
+        assert_eq!(Baseline::FastIovMinusL.lock_policy(), LockPolicy::Coarse);
+        assert_eq!(
+            Baseline::FastIovMinusD.lock_policy(),
+            LockPolicy::Hierarchical
+        );
+    }
+
+    #[test]
+    fn variant_options_toggle_exactly_one_axis() {
+        let full = Baseline::FastIov.vm_options(512, 256);
+        let no_a = Baseline::FastIovMinusA.vm_options(512, 256);
+        let no_s = Baseline::FastIovMinusS.vm_options(512, 256);
+        let no_d = Baseline::FastIovMinusD.vm_options(512, 256);
+        assert!(full.async_vf_init && full.skip_image_mapping);
+        assert!(full.zeroing.is_decoupled());
+        assert!(!no_a.async_vf_init && no_a.skip_image_mapping);
+        assert!(!no_s.skip_image_mapping && no_s.async_vf_init);
+        assert!(!no_d.zeroing.is_decoupled() && no_d.async_vf_init);
+    }
+
+    #[test]
+    fn prezero_fraction_parsing() {
+        assert_eq!(Baseline::Prezero(10).prezero_fraction(), 0.1);
+        assert_eq!(Baseline::Prezero(100).prezero_fraction(), 1.0);
+        assert_eq!(Baseline::Vanilla.prezero_fraction(), 0.0);
+    }
+
+    #[test]
+    fn labels_are_paper_legends() {
+        assert_eq!(Baseline::Prezero(50).label(), "Pre50");
+        assert_eq!(Baseline::FastIovMinusL.label(), "FastIOV-L");
+    }
+}

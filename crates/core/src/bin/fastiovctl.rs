@@ -1,0 +1,230 @@
+//! `fastiovctl` — command-line front end for the FastIOV reproduction.
+//!
+//! ```text
+//! fastiovctl baselines
+//! fastiovctl startup --baseline fastiov --conc 200 [--scale 0.02]
+//!                    [--ram-mb 512] [--image-mb 256]
+//! fastiovctl compare --conc 200            # no-net vs vanilla vs fastiov
+//! fastiovctl app --app image --baseline vanilla --conc 50
+//! fastiovctl memperf
+//! ```
+
+use fastiov::apps::AppKind;
+use fastiov::engine::cdf_points;
+use fastiov::hostmem::addr::units::mib;
+use fastiov::{
+    run_app_experiment, run_memperf, run_startup_experiment, Baseline, ExperimentConfig, Table,
+};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), String::from("true"));
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn baseline_from(name: &str) -> Option<Baseline> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "no-net" | "nonet" => Baseline::NoNet,
+        "vanilla" => Baseline::Vanilla,
+        "vanilla-orig" | "original" => Baseline::VanillaOriginal,
+        "fastiov" => Baseline::FastIov,
+        "fastiov-l" => Baseline::FastIovMinusL,
+        "fastiov-a" => Baseline::FastIovMinusA,
+        "fastiov-s" => Baseline::FastIovMinusS,
+        "fastiov-d" => Baseline::FastIovMinusD,
+        "pre10" => Baseline::Prezero(10),
+        "pre50" => Baseline::Prezero(50),
+        "pre100" => Baseline::Prezero(100),
+        "ipvtap" => Baseline::Ipvtap,
+        "fastiov-vdpa" | "vdpa" => Baseline::FastIovVdpa,
+        _ => return None,
+    })
+}
+
+fn app_from(name: &str) -> Option<AppKind> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "image" => AppKind::Image,
+        "compression" => AppKind::Compression,
+        "scientific" => AppKind::Scientific,
+        "inference" => AppKind::Inference,
+        _ => return None,
+    })
+}
+
+fn config(flags: &HashMap<String, String>, baseline: Baseline) -> ExperimentConfig {
+    let conc: u32 = flags
+        .get("conc")
+        .map(|v| v.parse().expect("--conc takes an integer"))
+        .unwrap_or(50);
+    let scale: f64 = flags
+        .get("scale")
+        .map(|v| v.parse().expect("--scale takes a float"))
+        .unwrap_or(0.02);
+    let mut cfg = ExperimentConfig::paper_scaled(baseline, conc, scale);
+    if let Some(ram) = flags.get("ram-mb") {
+        cfg.ram_bytes = mib(ram.parse().expect("--ram-mb takes an integer"));
+    }
+    if let Some(image) = flags.get("image-mb") {
+        cfg.image_bytes = mib(image.parse().expect("--image-mb takes an integer"));
+    }
+    if let Some(vcpus) = flags.get("vcpus") {
+        cfg.vcpus = vcpus.parse().expect("--vcpus takes a float");
+    }
+    cfg
+}
+
+fn print_startup(cfg: &ExperimentConfig, cdf: bool) {
+    let run = run_startup_experiment(cfg).expect("startup experiment");
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["baseline".to_string(), run.baseline.label()]);
+    t.row(vec![
+        "containers".to_string(),
+        run.reports.len().to_string(),
+    ]);
+    t.row(vec![
+        "avg (s)".to_string(),
+        format!("{:.2}", run.total.mean_secs()),
+    ]);
+    t.row(vec![
+        "p50 (s)".to_string(),
+        format!("{:.2}", run.total.p50.as_secs_f64()),
+    ]);
+    t.row(vec![
+        "p99 (s)".to_string(),
+        format!("{:.2}", run.total.p99_secs()),
+    ]);
+    t.row(vec![
+        "vf-related avg (s)".to_string(),
+        format!("{:.2}", run.vf_related.mean_secs()),
+    ]);
+    println!("{}", t.render());
+    println!("stage means:");
+    for (stage, mean) in &run.stage_means {
+        if !mean.is_zero() {
+            println!("  {stage:<14} {:.2}s", mean.as_secs_f64());
+        }
+    }
+    if cdf {
+        println!("\ntime_s,cdf");
+        for (x, y) in cdf_points(&run.totals()) {
+            println!("{x:.3},{y:.4}");
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  fastiovctl baselines\n  fastiovctl startup --baseline <name> [--conc N] \
+         [--scale F] [--ram-mb M] [--image-mb M] [--cdf]\n  fastiovctl compare [--conc N] \
+         [--scale F]\n  fastiovctl app --app <image|compression|scientific|inference> \
+         --baseline <name> [--conc N]\n  fastiovctl memperf [--scale F]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    match cmd.as_str() {
+        "baselines" => {
+            let mut t = Table::new(vec!["name", "label"]);
+            for (name, b) in [
+                ("no-net", Baseline::NoNet),
+                ("vanilla", Baseline::Vanilla),
+                ("vanilla-orig", Baseline::VanillaOriginal),
+                ("fastiov", Baseline::FastIov),
+                ("fastiov-l", Baseline::FastIovMinusL),
+                ("fastiov-a", Baseline::FastIovMinusA),
+                ("fastiov-s", Baseline::FastIovMinusS),
+                ("fastiov-d", Baseline::FastIovMinusD),
+                ("pre10", Baseline::Prezero(10)),
+                ("pre50", Baseline::Prezero(50)),
+                ("pre100", Baseline::Prezero(100)),
+                ("ipvtap", Baseline::Ipvtap),
+                ("fastiov-vdpa", Baseline::FastIovVdpa),
+            ] {
+                t.row(vec![name.to_string(), b.label()]);
+            }
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        "startup" => {
+            let Some(b) = flags.get("baseline").and_then(|n| baseline_from(n)) else {
+                eprintln!("--baseline required (see `fastiovctl baselines`)");
+                return ExitCode::FAILURE;
+            };
+            print_startup(&config(&flags, b), flags.contains_key("cdf"));
+            ExitCode::SUCCESS
+        }
+        "compare" => {
+            let mut t = Table::new(vec!["baseline", "avg (s)", "p99 (s)", "vf-related (s)"]);
+            for b in [Baseline::NoNet, Baseline::Vanilla, Baseline::FastIov] {
+                let run = run_startup_experiment(&config(&flags, b)).expect("run");
+                t.row(vec![
+                    run.baseline.label(),
+                    format!("{:.2}", run.total.mean_secs()),
+                    format!("{:.2}", run.total.p99_secs()),
+                    format!("{:.2}", run.vf_related.mean_secs()),
+                ]);
+            }
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        "app" => {
+            let Some(b) = flags.get("baseline").and_then(|n| baseline_from(n)) else {
+                eprintln!("--baseline required");
+                return ExitCode::FAILURE;
+            };
+            let Some(app) = flags.get("app").and_then(|n| app_from(n)) else {
+                eprintln!("--app required (image|compression|scientific|inference)");
+                return ExitCode::FAILURE;
+            };
+            let run = run_app_experiment(&config(&flags, b), app).expect("app run");
+            println!(
+                "{} × {} on {}: avg completion {:.2}s, p99 {:.2}s",
+                app.name(),
+                run.tasks.len(),
+                run.baseline.label(),
+                run.completion.mean_secs(),
+                run.completion.p99_secs(),
+            );
+            ExitCode::SUCCESS
+        }
+        "memperf" => {
+            let base = config(&flags, Baseline::Vanilla);
+            let sweep = mib(32);
+            for b in [Baseline::Vanilla, Baseline::FastIov] {
+                let r = run_memperf(b, &base, sweep, 3, 5_000).expect("memperf");
+                println!(
+                    "{:<8} cold {:>7.2}ms steady {:>7.2}ms random {:>6.3}ms (faults {}, lazily zeroed {})",
+                    r.baseline.label(),
+                    r.cold_sweep.as_secs_f64() * 1e3,
+                    r.steady_sweep.as_secs_f64() * 1e3,
+                    r.random_reads.as_secs_f64() * 1e3,
+                    r.ept_faults,
+                    r.lazily_zeroed,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,297 @@
+//! One-call experiment runners.
+
+use crate::baseline::Baseline;
+use crate::{Error, Result};
+use fastiov_apps::{run_serverless_task, AppKind, StorageServer, TaskResult};
+use fastiov_engine::{Engine, EngineParams, StartupReport, Summary};
+use fastiov_hostmem::addr::units::mib;
+use fastiov_microvm::{stages, Host, HostParams};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// The baseline under test.
+    pub baseline: Baseline,
+    /// Concurrently launched containers.
+    pub concurrency: u32,
+    /// Guest RAM per container.
+    pub ram_bytes: u64,
+    /// Image region per container.
+    pub image_bytes: u64,
+    /// vCPUs per container (used by app experiments).
+    pub vcpus: f64,
+    /// Host parameter set (defaults to [`HostParams::paper`]).
+    pub host: HostParams,
+    /// Engine parameter set.
+    pub engine: EngineParams,
+}
+
+impl ExperimentConfig {
+    /// The paper's default measurement setting (§3.1): 512 MB RAM,
+    /// 256 MB image, 0.5 vCPU.
+    pub fn paper(baseline: Baseline, concurrency: u32) -> Self {
+        ExperimentConfig {
+            baseline,
+            concurrency,
+            ram_bytes: mib(512),
+            image_bytes: mib(256),
+            vcpus: 0.5,
+            host: HostParams::paper(),
+            engine: EngineParams::paper(),
+        }
+    }
+
+    /// Like [`ExperimentConfig::paper`] but at a custom time scale
+    /// (smaller = faster wall clock).
+    pub fn paper_scaled(baseline: Baseline, concurrency: u32, time_scale: f64) -> Self {
+        ExperimentConfig {
+            host: HostParams::paper_scaled(time_scale),
+            ..Self::paper(baseline, concurrency)
+        }
+    }
+
+    /// A tiny configuration for tests and doc examples: few containers,
+    /// small guests, microscopic time scale.
+    pub fn smoke(baseline: Baseline, concurrency: u32) -> Self {
+        ExperimentConfig {
+            baseline,
+            concurrency,
+            ram_bytes: mib(64),
+            image_bytes: mib(32),
+            vcpus: 0.5,
+            host: HostParams::for_tests(),
+            engine: EngineParams::paper(),
+        }
+    }
+
+    /// Builds the host + engine pair for this configuration.
+    pub fn build(&self) -> Result<(Arc<Host>, Arc<Engine>)> {
+        let host = Host::new(self.host.clone(), self.baseline.lock_policy()).map_err(Error::Host)?;
+        let frac = self.baseline.prezero_fraction();
+        if frac > 0.0 {
+            host.mem.prezero_pass(frac);
+        }
+        let networking = self.baseline.networking(&host).map_err(Error::Host)?;
+        let engine = Engine::new(
+            Arc::clone(&host),
+            self.engine,
+            networking,
+            self.baseline.vm_options(self.ram_bytes, self.image_bytes),
+        );
+        Ok((host, engine))
+    }
+}
+
+/// Result of a startup experiment.
+#[derive(Debug, Clone)]
+pub struct StartupRunResult {
+    /// The baseline measured.
+    pub baseline: Baseline,
+    /// Per-container reports, index order.
+    pub reports: Vec<StartupReport>,
+    /// End-to-end startup time summary.
+    pub total: Summary,
+    /// VF-related time summary (stages 1, 3, 4, 5).
+    pub vf_related: Summary,
+    /// Per-stage mean durations.
+    pub stage_means: BTreeMap<String, Duration>,
+}
+
+impl StartupRunResult {
+    /// All end-to-end durations (CDF plotting).
+    pub fn totals(&self) -> Vec<Duration> {
+        self.reports.iter().map(|r| r.total).collect()
+    }
+
+    /// Mean share of a stage in the mean total time.
+    pub fn stage_share(&self, stage: &str) -> f64 {
+        let t = self.total.mean.as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.stage_means
+                .get(stage)
+                .map(|d| d.as_secs_f64() / t)
+                .unwrap_or(0.0)
+        }
+    }
+
+    /// Share of a stage in the p99-tail container's time (Tab. 1 right
+    /// column): computed over the slowest percentile of containers.
+    pub fn stage_share_p99(&self, stage: &str) -> f64 {
+        let mut by_total: Vec<&StartupReport> = self.reports.iter().collect();
+        by_total.sort_by_key(|r| r.total);
+        let tail = &by_total[(by_total.len() * 99 / 100).min(by_total.len() - 1)..];
+        let total: f64 = tail.iter().map(|r| r.total.as_secs_f64()).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let stage_sum: f64 = tail
+            .iter()
+            .map(|r| r.stage_total(stage).as_secs_f64())
+            .sum();
+        stage_sum / total
+    }
+}
+
+/// Runs one startup experiment: builds a fresh host, launches
+/// `concurrency` containers simultaneously, tears them down, summarizes.
+pub fn run_startup_experiment(cfg: &ExperimentConfig) -> Result<StartupRunResult> {
+    let (_host, engine) = cfg.build()?;
+    let reports: Vec<StartupReport> = engine
+        .measure_startup(cfg.concurrency)
+        .into_iter()
+        .collect::<std::result::Result<_, _>>()
+        .map_err(Error::Startup)?;
+    summarize(cfg.baseline, reports)
+}
+
+/// Builds the result summary from raw reports.
+pub fn summarize(baseline: Baseline, reports: Vec<StartupReport>) -> Result<StartupRunResult> {
+    if reports.is_empty() {
+        return Err(Error::Empty);
+    }
+    let totals: Vec<Duration> = reports.iter().map(|r| r.total).collect();
+    let vf: Vec<Duration> = reports.iter().map(|r| r.vf_related()).collect();
+    let mut stage_means = BTreeMap::new();
+    for name in [
+        stages::CGROUP,
+        stages::DMA_RAM,
+        stages::VIRTIOFS,
+        stages::DMA_IMAGE,
+        stages::VFIO_DEV,
+        stages::VF_DRIVER,
+        stages::ADD_CNI,
+        "g-kernel-load",
+        "g-boot",
+    ] {
+        let sum: Duration = reports.iter().map(|r| r.stage_total(name)).sum();
+        stage_means.insert(name.to_string(), sum / reports.len() as u32);
+    }
+    Ok(StartupRunResult {
+        baseline,
+        total: Summary::from_durations(&totals).expect("non-empty"),
+        vf_related: Summary::from_durations(&vf).expect("non-empty"),
+        stage_means,
+        reports,
+    })
+}
+
+/// Result of a serverless application experiment.
+#[derive(Debug, Clone)]
+pub struct AppRunResult {
+    /// The baseline measured.
+    pub baseline: Baseline,
+    /// The application.
+    pub app: AppKind,
+    /// Per-task results.
+    pub tasks: Vec<TaskResult>,
+    /// Task completion time summary.
+    pub completion: Summary,
+}
+
+impl AppRunResult {
+    /// All completion durations (CDF plotting).
+    pub fn completions(&self) -> Vec<Duration> {
+        self.tasks.iter().map(|t| t.completion).collect()
+    }
+}
+
+/// Runs one serverless application experiment: `concurrency` tasks of
+/// `app`, launched simultaneously (§6.6).
+pub fn run_app_experiment(cfg: &ExperimentConfig, app: AppKind) -> Result<AppRunResult> {
+    let (_host, engine) = cfg.build()?;
+    let storage = Arc::new(StorageServer::new());
+    let params = fastiov_apps::runner::TaskParams {
+        vcpus: cfg.vcpus,
+        ..fastiov_apps::runner::TaskParams::paper()
+    };
+    let handles: Vec<_> = (0..cfg.concurrency)
+        .map(|i| {
+            let engine = Arc::clone(&engine);
+            let storage = Arc::clone(&storage);
+            std::thread::spawn(move || {
+                let workload = app.workload();
+                run_serverless_task(&engine, i, workload.as_ref(), &storage, &params)
+            })
+        })
+        .collect();
+    let mut tasks = Vec::with_capacity(cfg.concurrency as usize);
+    for h in handles {
+        tasks.push(
+            h.join()
+                .map_err(|_| Error::Empty)?
+                .map_err(Error::App)?,
+        );
+    }
+    if tasks.is_empty() {
+        return Err(Error::Empty);
+    }
+    let completions: Vec<Duration> = tasks.iter().map(|t| t.completion).collect();
+    Ok(AppRunResult {
+        baseline: cfg.baseline,
+        app,
+        completion: Summary::from_durations(&completions).expect("non-empty"),
+        tasks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_startup_runs_all_baselines() {
+        for b in [
+            Baseline::NoNet,
+            Baseline::Vanilla,
+            Baseline::FastIov,
+            Baseline::Prezero(100),
+            Baseline::Ipvtap,
+        ] {
+            let run = run_startup_experiment(&ExperimentConfig::smoke(b, 3)).unwrap();
+            assert_eq!(run.reports.len(), 3, "{b}");
+            assert!(run.total.mean > Duration::ZERO, "{b}");
+        }
+    }
+
+    #[test]
+    fn fastiov_beats_vanilla_even_in_smoke() {
+        let van = run_startup_experiment(&ExperimentConfig::smoke(Baseline::Vanilla, 6)).unwrap();
+        let fast = run_startup_experiment(&ExperimentConfig::smoke(Baseline::FastIov, 6)).unwrap();
+        assert!(
+            fast.vf_related.mean < van.vf_related.mean,
+            "fastiov vf {:?} vs vanilla vf {:?}",
+            fast.vf_related.mean,
+            van.vf_related.mean
+        );
+    }
+
+    #[test]
+    fn stage_shares_sum_below_one() {
+        let run = run_startup_experiment(&ExperimentConfig::smoke(Baseline::Vanilla, 4)).unwrap();
+        let total_share: f64 = [
+            stages::CGROUP,
+            stages::DMA_RAM,
+            stages::VIRTIOFS,
+            stages::DMA_IMAGE,
+            stages::VFIO_DEV,
+            stages::VF_DRIVER,
+        ]
+        .iter()
+        .map(|s| run.stage_share(s))
+        .sum();
+        assert!(total_share > 0.0 && total_share <= 1.0, "{total_share}");
+    }
+
+    #[test]
+    fn smoke_app_experiment() {
+        let cfg = ExperimentConfig::smoke(Baseline::FastIov, 2);
+        let run = run_app_experiment(&cfg, AppKind::Image).unwrap();
+        assert_eq!(run.tasks.len(), 2);
+        assert!(run.completion.mean >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,541 @@
+//! Pod lifecycle and the concurrent launcher.
+
+use crate::cgroup::CgroupManager;
+use crate::{EngineError, Result};
+use fastiov_cni::{CniPlugin, CniResult, NnsRegistry, PodNetSpec, RtnlLock};
+use fastiov_microvm::{
+    stages, Host, Microvm, MicrovmConfig, NetworkAttachment, ZeroingMode,
+};
+use fastiov_simtime::{SimInstant, StageLog, StageRecord};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Engine-level cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineParams {
+    /// Parallel cgroup setup work.
+    pub cgroup_base: Duration,
+    /// Serialized (global-lock) cgroup work.
+    pub cgroup_hold: Duration,
+    /// NNS creation cost.
+    pub nns_create: Duration,
+    /// rtnl hold for interface moves.
+    pub move_hold: Duration,
+    /// rtnl hold for address configuration.
+    pub ip_hold: Duration,
+    /// Residual runtime overhead per pod (shim, annotations, API hops).
+    pub sandbox_overhead: Duration,
+    /// Arrival jitter of the concurrent launcher: request `i` of `n`
+    /// starts after `i * launch_spread / n`. Models the "nearly
+    /// simultaneous" arrivals of §3.1 (and keeps 200 simulation threads
+    /// from herding on one physical core).
+    pub launch_spread: Duration,
+}
+
+impl EngineParams {
+    /// Paper-calibrated costs (Tab. 1 proportions at concurrency 200).
+    pub fn paper() -> Self {
+        EngineParams {
+            cgroup_base: Duration::from_millis(15),
+            cgroup_hold: Duration::from_millis(6),
+            nns_create: Duration::from_millis(10),
+            move_hold: Duration::from_millis(3),
+            ip_hold: Duration::from_millis(2),
+            sandbox_overhead: Duration::from_millis(150),
+            launch_spread: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Per-pod microVM options the runtime applies at attach time.
+#[derive(Debug, Clone, Copy)]
+pub struct VmOptions {
+    /// Guest RAM per container.
+    pub ram_bytes: u64,
+    /// Image region size.
+    pub image_bytes: u64,
+    /// Zeroing discipline (FastIOV `D`).
+    pub zeroing: ZeroingMode,
+    /// Skip image-region DMA mapping (FastIOV `S`).
+    pub skip_image_mapping: bool,
+    /// Asynchronous guest VF driver init (FastIOV `A`).
+    pub async_vf_init: bool,
+}
+
+impl VmOptions {
+    /// Vanilla options with the given RAM size.
+    pub fn vanilla(ram_bytes: u64, image_bytes: u64) -> Self {
+        VmOptions {
+            ram_bytes,
+            image_bytes,
+            zeroing: ZeroingMode::Eager,
+            skip_image_mapping: false,
+            async_vf_init: false,
+        }
+    }
+
+    /// Full FastIOV options with the given RAM size.
+    pub fn fastiov(ram_bytes: u64, image_bytes: u64) -> Self {
+        VmOptions {
+            ram_bytes,
+            image_bytes,
+            zeroing: ZeroingMode::decoupled(),
+            skip_image_mapping: true,
+            async_vf_init: true,
+        }
+    }
+}
+
+/// How pods get networked.
+pub enum PodNetworking {
+    /// No network (baseline lower bound).
+    None,
+    /// SR-IOV passthrough via the given plugin.
+    Sriov(Arc<dyn CniPlugin>),
+    /// Software CNI via the given plugin.
+    Software(Arc<dyn CniPlugin>),
+    /// vDPA-mediated VF (§7): hardware data plane, standard virtio
+    /// control plane in the guest.
+    Vdpa(Arc<dyn CniPlugin>),
+}
+
+/// The measured outcome of one container startup.
+#[derive(Debug, Clone)]
+pub struct StartupReport {
+    /// Container index.
+    pub index: u32,
+    /// When the startup began.
+    pub started: SimInstant,
+    /// End-to-end startup duration.
+    pub total: Duration,
+    /// Per-stage records.
+    pub records: Vec<StageRecord>,
+}
+
+impl StartupReport {
+    /// Total time of one named stage.
+    pub fn stage_total(&self, name: &str) -> Duration {
+        self.records
+            .iter()
+            .filter(|r| r.name == name)
+            .map(StageRecord::duration)
+            .sum()
+    }
+
+    /// Sum of the four VF-related stages (1, 3, 4, 5 of Tab. 1).
+    pub fn vf_related(&self) -> Duration {
+        [
+            stages::DMA_RAM,
+            stages::DMA_IMAGE,
+            stages::VFIO_DEV,
+            stages::VF_DRIVER,
+        ]
+        .iter()
+        .map(|s| self.stage_total(s))
+        .sum()
+    }
+
+    /// `total - vf_related` (the "others" bar of Fig. 11).
+    pub fn others(&self) -> Duration {
+        self.total.saturating_sub(self.vf_related())
+    }
+}
+
+/// A started pod: the microVM plus its network state.
+pub struct PodHandle {
+    /// Container index.
+    pub index: u32,
+    /// The running microVM.
+    pub vm: Arc<Microvm>,
+    /// What the CNI set up (None for no-network pods).
+    pub cni: Option<CniResult>,
+    /// The startup measurement.
+    pub report: StartupReport,
+}
+
+/// The container engine for one experiment run.
+pub struct Engine {
+    host: Arc<Host>,
+    params: EngineParams,
+    cgroups: Arc<CgroupManager>,
+    nns: Arc<NnsRegistry>,
+    networking: PodNetworking,
+    vm_options: VmOptions,
+}
+
+impl Engine {
+    /// Creates the engine. For SR-IOV networking with the fixed/FastIOV
+    /// plugins the caller must have pre-bound VFs
+    /// ([`Host::prebind_all_vfs`]); the original plugin binds per launch.
+    pub fn new(
+        host: Arc<Host>,
+        params: EngineParams,
+        networking: PodNetworking,
+        vm_options: VmOptions,
+    ) -> Arc<Self> {
+        let cgroups = CgroupManager::new(host.clock.clone(), params.cgroup_base, params.cgroup_hold);
+        let rtnl = RtnlLock::new(host.clock.clone());
+        let nns = NnsRegistry::new(
+            host.clock.clone(),
+            rtnl,
+            params.nns_create,
+            params.move_hold,
+            params.ip_hold,
+        );
+        Arc::new(Engine {
+            host,
+            params,
+            cgroups,
+            nns,
+            networking,
+            vm_options,
+        })
+    }
+
+    /// The host.
+    pub fn host(&self) -> &Arc<Host> {
+        &self.host
+    }
+
+    /// The namespace registry (diagnostics).
+    pub fn nns(&self) -> &Arc<NnsRegistry> {
+        &self.nns
+    }
+
+    /// Starts one pod end to end (Fig. 4) and returns its handle.
+    pub fn run_pod(&self, index: u32) -> Result<PodHandle> {
+        let pid = 1000 + index as u64;
+        let mut log = StageLog::begin(self.host.clock.clone());
+        let started = log.started();
+
+        // Containerd: resource isolation.
+        log.stage(stages::CGROUP, || self.cgroups.create(pid));
+        // Containerd: isolated network namespace.
+        let nns = self.nns.create(pid);
+
+        // CNI plugin (t_config).
+        let spec = PodNetSpec { pid, index };
+        let cni_result = match &self.networking {
+            PodNetworking::None => None,
+            PodNetworking::Sriov(plugin)
+            | PodNetworking::Software(plugin)
+            | PodNetworking::Vdpa(plugin) => Some(
+                plugin
+                    .setup(&self.host, &spec, &nns, &self.nns, &mut log)
+                    .map_err(EngineError::Cni)?,
+            ),
+        };
+
+        // Container runtime (t_attach): verify the interface, rebind if
+        // the original plugin left the VF on the host driver, launch.
+        let attachment = match &cni_result {
+            None => NetworkAttachment::None,
+            Some(CniResult::Software { netdev, .. }) => {
+                if !nns.has_interface(netdev) {
+                    return Err(EngineError::InterfaceMissing(netdev.0.clone()));
+                }
+                NetworkAttachment::SoftwareVirtio
+            }
+            Some(CniResult::Passthrough {
+                vf,
+                netdev,
+                needs_host_rebind,
+                ..
+            }) => {
+                if !nns.has_interface(netdev) {
+                    return Err(EngineError::InterfaceMissing(netdev.0.clone()));
+                }
+                if *needs_host_rebind {
+                    // The original plugin's flaw: unbind the host network
+                    // driver and rebind to VFIO on every single launch.
+                    self.host
+                        .pf
+                        .unbind_host_driver(*vf)
+                        .map_err(|e| EngineError::Cni(e.into()))?;
+                    self.host
+                        .pf
+                        .bind_vfio(*vf)
+                        .map_err(|e| EngineError::Cni(e.into()))?;
+                    let pci = Arc::clone(self.host.pf.vf(*vf).map_err(|e| EngineError::Cni(e.into()))?.pci());
+                    self.host
+                        .vfio
+                        .register(pci)
+                        .map_err(|e| EngineError::Cni(e.into()))?;
+                }
+                if matches!(self.networking, PodNetworking::Vdpa(_)) {
+                    NetworkAttachment::Vdpa(*vf)
+                } else {
+                    NetworkAttachment::Passthrough(*vf)
+                }
+            }
+        };
+
+        let cfg = MicrovmConfig {
+            pid,
+            ram_bytes: self.vm_options.ram_bytes,
+            image_bytes: self.vm_options.image_bytes,
+            zeroing: if attachment == NetworkAttachment::None
+                || matches!(attachment, NetworkAttachment::SoftwareVirtio)
+            {
+                // Without passthrough there is no eager DMA allocation;
+                // the host's natural lazy zeroing applies.
+                ZeroingMode::Eager
+            } else {
+                self.vm_options.zeroing
+            },
+            skip_image_mapping: self.vm_options.skip_image_mapping,
+            async_vf_init: self.vm_options.async_vf_init,
+        };
+        let vm = match Microvm::launch(&self.host, cfg, attachment, &mut log) {
+            Ok(vm) => vm,
+            Err(e) => {
+                // Unwind everything the partial launch may have grabbed so
+                // the host stays reusable: frames, lazy-zero entries, the
+                // DMA attachment, and the group ownership.
+                if let NetworkAttachment::Passthrough(vf) | NetworkAttachment::Vdpa(vf) =
+                    attachment
+                {
+                    self.host.dma.detach_vf(vf);
+                    if let Ok(vf_ref) = self.host.pf.vf(vf) {
+                        if let Ok(group) = self.host.vfio.group(vf_ref.pci().bdf()) {
+                            let _ = group.detach(pid);
+                        }
+                    }
+                }
+                self.host.fastiovd.unregister_vm(pid);
+                self.host.mem.release_owner(pid);
+                if let (Some(result), PodNetworking::Sriov(plugin)
+                | PodNetworking::Software(plugin)
+                | PodNetworking::Vdpa(plugin)) = (&cni_result, &self.networking)
+                {
+                    let _ = plugin.teardown(&self.host, result);
+                }
+                let _ = self.nns.destroy(pid);
+                self.cgroups.remove(pid);
+                return Err(EngineError::Vmm(e));
+            }
+        };
+
+        // Residual runtime overhead.
+        self.host.clock.sleep(self.params.sandbox_overhead);
+
+        let total = log.elapsed();
+        Ok(PodHandle {
+            index,
+            vm,
+            cni: cni_result,
+            report: StartupReport {
+                index,
+                started,
+                total,
+                records: log.records().to_vec(),
+            },
+        })
+    }
+
+    /// Tears a pod down, releasing the VF and guest memory.
+    pub fn teardown_pod(&self, pod: &PodHandle) -> Result<()> {
+        pod.vm.shutdown()?;
+        if let (
+            Some(result),
+            PodNetworking::Sriov(plugin)
+            | PodNetworking::Software(plugin)
+            | PodNetworking::Vdpa(plugin),
+        ) = (&pod.cni, &self.networking)
+        {
+            plugin
+                .teardown(&self.host, result)
+                .map_err(EngineError::Cni)?;
+        }
+        let pid = 1000 + pod.index as u64;
+        self.nns.destroy(pid).map_err(EngineError::Cni)?;
+        self.cgroups.remove(pid);
+        Ok(())
+    }
+
+    /// `crictl`-style concurrent startup of `n` pods, one thread each
+    /// (§3.1). Returns per-pod results in index order.
+    pub fn launch_concurrent(self: &Arc<Self>, n: u32) -> Vec<Result<PodHandle>> {
+        let spread = self.params.launch_spread;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let engine = Arc::clone(self);
+                std::thread::spawn(move || {
+                    engine
+                        .host
+                        .clock
+                        .sleep(Duration::from_secs_f64(
+                            spread.as_secs_f64() * f64::from(i) / f64::from(n.max(1)),
+                        ));
+                    engine.run_pod(i)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Err(EngineError::LaunchPanic)))
+            .collect()
+    }
+
+    /// Convenience: launch `n` pods, tear them down, return the reports.
+    pub fn measure_startup(self: &Arc<Self>, n: u32) -> Vec<Result<StartupReport>> {
+        self.launch_concurrent(n)
+            .into_iter()
+            .map(|r| {
+                r.map(|pod| {
+                    let report = pod.report.clone();
+                    let _ = self.teardown_pod(&pod);
+                    report
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastiov_cni::{FastIovCni, IpvtapCni, SriovCniFixed, SriovCniOriginal, VfAllocator};
+    use fastiov_hostmem::addr::units::mib;
+    use fastiov_microvm::HostParams;
+    use fastiov_vfio::LockPolicy;
+
+    fn host(policy: LockPolicy) -> Arc<Host> {
+        Host::new(HostParams::for_tests(), policy).unwrap()
+    }
+
+    fn sriov_engine(host: &Arc<Host>, fast: bool) -> Arc<Engine> {
+        host.prebind_all_vfs().unwrap();
+        let vfs = VfAllocator::new(host.pf.vf_count() as u16);
+        let (plugin, opts): (Arc<dyn CniPlugin>, VmOptions) = if fast {
+            (
+                Arc::new(FastIovCni::new(vfs)),
+                VmOptions::fastiov(mib(64), mib(32)),
+            )
+        } else {
+            (
+                Arc::new(SriovCniFixed::new(vfs)),
+                VmOptions::vanilla(mib(64), mib(32)),
+            )
+        };
+        Engine::new(
+            Arc::clone(host),
+            EngineParams::paper(),
+            PodNetworking::Sriov(plugin),
+            opts,
+        )
+    }
+
+    #[test]
+    fn single_pod_vanilla_lifecycle() {
+        let host = host(LockPolicy::Coarse);
+        let engine = sriov_engine(&host, false);
+        let pod = engine.run_pod(0).unwrap();
+        assert!(pod.report.total > Duration::ZERO);
+        // All VF stages present in the synchronous flow.
+        for s in [
+            stages::CGROUP,
+            stages::DMA_RAM,
+            stages::VIRTIOFS,
+            stages::DMA_IMAGE,
+            stages::VFIO_DEV,
+            stages::VF_DRIVER,
+        ] {
+            assert!(
+                pod.report.stage_total(s) > Duration::ZERO,
+                "missing stage {s}"
+            );
+        }
+        assert!(pod.report.vf_related() < pod.report.total);
+        engine.teardown_pod(&pod).unwrap();
+        assert!(engine.nns().is_empty());
+    }
+
+    #[test]
+    fn fastiov_pod_skips_image_and_async_inits() {
+        let host = host(LockPolicy::Hierarchical);
+        let engine = sriov_engine(&host, true);
+        let pod = engine.run_pod(0).unwrap();
+        assert_eq!(pod.report.stage_total(stages::DMA_IMAGE), Duration::ZERO);
+        assert_eq!(pod.report.stage_total(stages::VF_DRIVER), Duration::ZERO);
+        pod.vm.wait_net_ready().unwrap();
+        engine.teardown_pod(&pod).unwrap();
+    }
+
+    #[test]
+    fn concurrent_launch_returns_all_pods() {
+        let host = host(LockPolicy::Hierarchical);
+        let engine = sriov_engine(&host, true);
+        let reports = engine.measure_startup(8);
+        assert_eq!(reports.len(), 8);
+        for r in reports {
+            let r = r.unwrap();
+            assert!(r.total > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn no_network_pods_have_no_vf_stages() {
+        let host = host(LockPolicy::Coarse);
+        let engine = Engine::new(
+            Arc::clone(&host),
+            EngineParams::paper(),
+            PodNetworking::None,
+            VmOptions::vanilla(mib(64), mib(32)),
+        );
+        let pod = engine.run_pod(0).unwrap();
+        assert_eq!(pod.report.vf_related(), Duration::ZERO);
+        engine.teardown_pod(&pod).unwrap();
+    }
+
+    #[test]
+    fn software_cni_pods_record_addcni() {
+        let host = host(LockPolicy::Coarse);
+        let engine = Engine::new(
+            Arc::clone(&host),
+            EngineParams::paper(),
+            PodNetworking::Software(Arc::new(IpvtapCni::new(fastiov_cni::CniParams::paper()))),
+            VmOptions::vanilla(mib(64), mib(32)),
+        );
+        let pod = engine.run_pod(0).unwrap();
+        assert!(pod.report.stage_total(stages::ADD_CNI) > Duration::ZERO);
+        assert_eq!(pod.report.vf_related(), Duration::ZERO);
+        engine.teardown_pod(&pod).unwrap();
+    }
+
+    #[test]
+    fn original_plugin_rebinds_every_launch() {
+        let host = host(LockPolicy::Coarse);
+        // No pre-binding: the original flow binds per launch.
+        let vfs = VfAllocator::new(host.pf.vf_count() as u16);
+        let engine = Engine::new(
+            Arc::clone(&host),
+            EngineParams::paper(),
+            PodNetworking::Sriov(Arc::new(SriovCniOriginal::new(vfs))),
+            VmOptions::vanilla(mib(64), mib(32)),
+        );
+        let pod = engine.run_pod(0).unwrap();
+        let stats = host.pf.stats();
+        assert_eq!(stats.host_binds, 1);
+        assert_eq!(stats.vfio_binds, 1);
+        engine.teardown_pod(&pod).unwrap();
+    }
+
+    #[test]
+    fn startup_report_math() {
+        let host = host(LockPolicy::Coarse);
+        let engine = sriov_engine(&host, false);
+        let pod = engine.run_pod(0).unwrap();
+        let r = &pod.report;
+        let vf = r.vf_related();
+        assert_eq!(
+            vf,
+            r.stage_total(stages::DMA_RAM)
+                + r.stage_total(stages::DMA_IMAGE)
+                + r.stage_total(stages::VFIO_DEV)
+                + r.stage_total(stages::VF_DRIVER)
+        );
+        assert_eq!(r.others() + vf, r.total);
+        engine.teardown_pod(&pod).unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! The container engine: pod lifecycle and concurrent startup.
+//!
+//! Mirrors the Containerd/Kata split of Fig. 4: the engine creates the
+//! cgroup and network namespace, invokes the CNI plugin (`t_config`), and
+//! drives the runtime attach (`t_attach`) by launching the microVM. The
+//! [`engine::Engine::launch_concurrent`] entry point reproduces the
+//! paper's measurement methodology (§3.1): `crictl`-style simultaneous
+//! creation of N secure containers, each on its own thread, with
+//! per-stage timelines collected asynchronously.
+
+#![warn(missing_docs)]
+
+pub mod cgroup;
+pub mod engine;
+pub mod stats;
+
+pub use cgroup::CgroupManager;
+pub use engine::{
+    Engine, EngineParams, PodHandle, PodNetworking, StartupReport, VmOptions,
+};
+pub use stats::{cdf_points, Summary};
+
+use fastiov_cni::CniError;
+use fastiov_microvm::VmmError;
+use std::fmt;
+
+/// Errors from the engine layer.
+#[derive(Debug)]
+pub enum EngineError {
+    /// CNI setup failed.
+    Cni(CniError),
+    /// microVM launch failed.
+    Vmm(VmmError),
+    /// The runtime could not find the expected interface in the NNS.
+    InterfaceMissing(String),
+    /// A launch thread panicked.
+    LaunchPanic,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Cni(e) => write!(f, "cni: {e}"),
+            EngineError::Vmm(e) => write!(f, "vmm: {e}"),
+            EngineError::InterfaceMissing(n) => {
+                write!(f, "interface {n} not found in container NNS")
+            }
+            EngineError::LaunchPanic => write!(f, "launch thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CniError> for EngineError {
+    fn from(e: CniError) -> Self {
+        EngineError::Cni(e)
+    }
+}
+
+impl From<VmmError> for EngineError {
+    fn from(e: VmmError) -> Self {
+        EngineError::Vmm(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;

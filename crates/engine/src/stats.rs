@@ -1,0 +1,156 @@
+//! Summary statistics for startup-time distributions.
+
+use std::time::Duration;
+
+/// Summary of a duration sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Minimum.
+    pub min: Duration,
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl Summary {
+    /// Computes the summary of a sample. Returns `None` for an empty one.
+    pub fn from_durations(sample: &[Duration]) -> Option<Summary> {
+        if sample.is_empty() {
+            return None;
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        Some(Summary {
+            n: sorted.len(),
+            mean: total / sorted.len() as u32,
+            min: sorted[0],
+            p50: percentile(&sorted, 0.50),
+            p90: percentile(&sorted, 0.90),
+            p99: percentile(&sorted, 0.99),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Mean in (simulated) seconds.
+    pub fn mean_secs(&self) -> f64 {
+        self.mean.as_secs_f64()
+    }
+
+    /// p99 in (simulated) seconds.
+    pub fn p99_secs(&self) -> f64 {
+        self.p99.as_secs_f64()
+    }
+
+    /// Relative reduction of this summary's mean versus `baseline`'s
+    /// (`0.65` = 65 % faster).
+    pub fn mean_reduction_vs(&self, baseline: &Summary) -> f64 {
+        let b = baseline.mean.as_secs_f64();
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - self.mean.as_secs_f64() / b
+        }
+    }
+
+    /// Relative reduction of this summary's p99 versus `baseline`'s.
+    pub fn p99_reduction_vs(&self, baseline: &Summary) -> f64 {
+        let b = baseline.p99.as_secs_f64();
+        if b == 0.0 {
+            0.0
+        } else {
+            1.0 - self.p99.as_secs_f64() / b
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Empirical CDF points `(value_secs, fraction ≤ value)` for plotting
+/// (Fig. 12/13/15).
+pub fn cdf_points(sample: &[Duration]) -> Vec<(f64, f64)> {
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.as_secs_f64(), (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: &[u64]) -> Vec<Duration> {
+        v.iter().map(|&m| Duration::from_millis(m)).collect()
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_durations(&ms(&[10, 20, 30, 40, 100])).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.mean, Duration::from_millis(40));
+        assert_eq!(s.min, Duration::from_millis(10));
+        assert_eq!(s.p50, Duration::from_millis(30));
+        assert_eq!(s.max, Duration::from_millis(100));
+        assert_eq!(s.p99, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = ms(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(percentile(&sorted, 0.0), Duration::from_millis(1));
+        assert_eq!(percentile(&sorted, 0.5), Duration::from_millis(5));
+        assert_eq!(percentile(&sorted, 0.99), Duration::from_millis(10));
+        assert_eq!(percentile(&sorted, 1.0), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn reductions() {
+        let fast = Summary::from_durations(&ms(&[10, 10])).unwrap();
+        let slow = Summary::from_durations(&ms(&[40, 40])).unwrap();
+        assert!((fast.mean_reduction_vs(&slow) - 0.75).abs() < 1e-9);
+        assert!((fast.p99_reduction_vs(&slow) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let pts = cdf_points(&ms(&[30, 10, 20]));
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0], (0.01, 1.0 / 3.0));
+        assert_eq!(pts[2].1, 1.0);
+        assert!(pts.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_rejects_empty() {
+        let _ = percentile(&[], 0.5);
+    }
+}

@@ -1,0 +1,413 @@
+//! `fastiovd` — the FastIOV kernel module (§5).
+//!
+//! Implements decoupled (lazy) zeroing for passthrough-enabled microVMs:
+//!
+//! - a **two-tier hash table**: PID → (HPA page → page info), populated by
+//!   the VFIO DMA-map path when it allocates guest pages *without* zeroing
+//!   them;
+//! - the **EPT-fault zeroing** entry point ([`Fastiovd::on_ept_fault`],
+//!   installed into KVM as an [`EptFaultHook`]): on a guest's first touch
+//!   of a tracked page, the page is zeroed, removed from the table, and
+//!   only then mapped;
+//! - the **instant zeroing list**: regions the hypervisor writes directly
+//!   (BIOS, kernel image) are zeroed immediately and never tracked,
+//!   avoiding the §4.3.2 crash where a later EPT fault would wipe
+//!   hypervisor-written data;
+//! - a **background scrubber** thread that drains remaining tracked pages
+//!   during idle moments, overlapping zeroing with other startup stages.
+
+#![warn(missing_docs)]
+
+use fastiov_hostmem::{FrameId, FrameRange, Hpa, PhysMemory};
+use fastiov_kvm::EptFaultHook;
+use fastiov_simtime::{Clock, SimInstant};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Information kept for every tracked (to-be-lazily-zeroed) page.
+#[derive(Debug, Clone, Copy)]
+pub struct PageInfo {
+    /// The physical frame.
+    pub frame: FrameId,
+    /// When the page was registered (simulated time).
+    pub registered_at: SimInstant,
+}
+
+/// Second tier of the table: one per microVM.
+#[derive(Debug, Default)]
+struct VmTable {
+    /// HPA page base → info.
+    pages: HashMap<u64, PageInfo>,
+}
+
+/// Counters exposed by [`Fastiovd::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FastiovdStats {
+    /// Pages zeroed inside EPT faults.
+    pub lazily_zeroed: u64,
+    /// Pages zeroed by the background scrubber.
+    pub background_zeroed: u64,
+    /// Pages zeroed through the instant-zeroing list.
+    pub instantly_zeroed: u64,
+    /// Pages currently tracked across all VMs.
+    pub tracked: usize,
+    /// Pages registered in total.
+    pub registered: u64,
+}
+
+/// The module state.
+pub struct Fastiovd {
+    mem: Arc<PhysMemory>,
+    clock: Clock,
+    /// First tier: PID → VM table.
+    outer: Mutex<HashMap<u64, Arc<Mutex<VmTable>>>>,
+    lazily_zeroed: AtomicU64,
+    background_zeroed: AtomicU64,
+    instantly_zeroed: AtomicU64,
+    registered: AtomicU64,
+    scrub_running: AtomicBool,
+}
+
+impl Fastiovd {
+    /// Loads the module.
+    pub fn new(clock: Clock, mem: Arc<PhysMemory>) -> Arc<Self> {
+        Arc::new(Fastiovd {
+            mem,
+            clock,
+            outer: Mutex::new(HashMap::new()),
+            lazily_zeroed: AtomicU64::new(0),
+            background_zeroed: AtomicU64::new(0),
+            instantly_zeroed: AtomicU64::new(0),
+            registered: AtomicU64::new(0),
+            scrub_running: AtomicBool::new(false),
+        })
+    }
+
+    fn vm_table(&self, pid: u64) -> Arc<Mutex<VmTable>> {
+        Arc::clone(
+            self.outer
+                .lock()
+                .entry(pid)
+                .or_insert_with(|| Arc::new(Mutex::new(VmTable::default()))),
+        )
+    }
+
+    /// Registers freshly allocated, *unzeroed* frames of microVM `pid` for
+    /// lazy zeroing (called by the VFIO DMA-map deferred path).
+    pub fn register_pages(&self, pid: u64, ranges: &[FrameRange]) {
+        let table = self.vm_table(pid);
+        let now = self.clock.now();
+        let mut t = table.lock();
+        let mut n = 0u64;
+        for r in ranges {
+            for f in r.iter() {
+                t.pages.insert(
+                    self.mem.hpa_of(f).raw(),
+                    PageInfo {
+                        frame: f,
+                        registered_at: now,
+                    },
+                );
+                n += 1;
+            }
+        }
+        self.registered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Instant-zeroing list entry point: the hypervisor declares that it
+    /// is about to write `ranges` directly (BIOS/kernel load). The pages
+    /// are zeroed now (charged) and removed from tracking so a later EPT
+    /// fault will not wipe the hypervisor's data.
+    pub fn instant_zero(&self, pid: u64, ranges: &[FrameRange]) -> fastiov_hostmem::Result<()> {
+        let table = self.vm_table(pid);
+        {
+            let mut t = table.lock();
+            for r in ranges {
+                for f in r.iter() {
+                    t.pages.remove(&self.mem.hpa_of(f).raw());
+                }
+            }
+        }
+        let pages: u64 = ranges.iter().map(|r| r.count as u64).sum();
+        self.mem.zero_ranges(ranges)?;
+        self.instantly_zeroed.fetch_add(pages, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Drops a microVM's table (teardown). Remaining pages are *not*
+    /// zeroed — the allocator re-garbles frames on free, and the next
+    /// owner zeroes before use. Returns how many pages were still tracked.
+    pub fn unregister_vm(&self, pid: u64) -> usize {
+        match self.outer.lock().remove(&pid) {
+            Some(t) => t.lock().pages.len(),
+            None => 0,
+        }
+    }
+
+    /// One scrubber sweep: zero up to `batch` tracked pages across all
+    /// VMs, oldest registration first within each VM. Returns pages
+    /// zeroed.
+    pub fn scrub_once(&self, batch: usize) -> usize {
+        let tables: Vec<Arc<Mutex<VmTable>>> =
+            self.outer.lock().values().cloned().collect();
+        let mut done = 0;
+        for table in tables {
+            if done >= batch {
+                break;
+            }
+            // Claim victims under the lock, zero outside it.
+            let victims: Vec<FrameId> = {
+                let mut t = table.lock();
+                let mut keys: Vec<u64> = t.pages.keys().copied().collect();
+                keys.sort_unstable_by_key(|k| t.pages[k].registered_at);
+                keys.truncate(batch - done);
+                keys.iter()
+                    .filter_map(|k| t.pages.remove(k))
+                    .map(|info| info.frame)
+                    .collect()
+            };
+            for f in &victims {
+                // A racing EPT fault may already have zeroed it; the
+                // allocator makes zero_frame idempotent and unzeroed-only.
+                let _ = self.mem.zero_frame(*f);
+            }
+            self.background_zeroed
+                .fetch_add(victims.len() as u64, Ordering::Relaxed);
+            done += victims.len();
+        }
+        done
+    }
+
+    /// Starts the background scrubber thread: every `interval` of
+    /// simulated time it zeroes up to `batch` tracked pages. Returns a
+    /// handle that stops the thread when dropped.
+    pub fn start_scrubber(self: &Arc<Self>, interval: Duration, batch: usize) -> ScrubberHandle {
+        self.scrub_running.store(true, Ordering::SeqCst);
+        let me = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::SeqCst) {
+                me.clock.sleep(interval);
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                me.scrub_once(batch);
+            }
+            me.scrub_running.store(false, Ordering::SeqCst);
+        });
+        ScrubberHandle {
+            stop,
+            thread: Some(handle),
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FastiovdStats {
+        let tracked = self
+            .outer
+            .lock()
+            .values()
+            .map(|t| t.lock().pages.len())
+            .sum();
+        FastiovdStats {
+            lazily_zeroed: self.lazily_zeroed.load(Ordering::Relaxed),
+            background_zeroed: self.background_zeroed.load(Ordering::Relaxed),
+            instantly_zeroed: self.instantly_zeroed.load(Ordering::Relaxed),
+            tracked,
+            registered: self.registered.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True if the page at `hpa` of VM `pid` is currently tracked.
+    pub fn is_tracked(&self, pid: u64, hpa: Hpa) -> bool {
+        let outer = self.outer.lock();
+        match outer.get(&pid) {
+            Some(t) => t.lock().pages.contains_key(&hpa.raw()),
+            None => false,
+        }
+    }
+}
+
+impl EptFaultHook for Fastiovd {
+    /// KVM calls this with the resolved HPA page during an EPT violation.
+    /// If the page is tracked for `pid`, it is zeroed (charged) and
+    /// untracked; KVM installs the EPT entry only after this returns.
+    fn on_ept_fault(&self, pid: u64, hpa_page: Hpa) -> bool {
+        let table = match self.outer.lock().get(&pid) {
+            Some(t) => Arc::clone(t),
+            None => return false,
+        };
+        let info = table.lock().pages.remove(&hpa_page.raw());
+        match info {
+            Some(info) => {
+                let zeroed = self.mem.zero_frame(info.frame).unwrap_or(false);
+                if zeroed {
+                    self.lazily_zeroed.fetch_add(1, Ordering::Relaxed);
+                }
+                zeroed
+            }
+            None => false,
+        }
+    }
+}
+
+/// RAII handle for the scrubber thread.
+pub struct ScrubberHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ScrubberHandle {
+    /// Stops the scrubber and waits for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ScrubberHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastiov_hostmem::{MemCosts, PageSize};
+
+    fn setup() -> (Arc<PhysMemory>, Arc<Fastiovd>) {
+        let mem = PhysMemory::new(MemCosts::for_tests(), PageSize::Size2M, 64);
+        let clock = Clock::with_scale(1e-5);
+        let d = Fastiovd::new(clock, Arc::clone(&mem));
+        (mem, d)
+    }
+
+    #[test]
+    fn fault_on_tracked_page_zeroes_once() {
+        let (mem, d) = setup();
+        let ranges = mem.alloc_frames(4, 1).unwrap();
+        d.register_pages(1, &ranges);
+        assert_eq!(d.stats().tracked, 4);
+        let f = ranges[0].start;
+        let hpa = mem.hpa_of(f);
+        assert!(d.is_tracked(1, hpa));
+        assert!(d.on_ept_fault(1, hpa));
+        assert!(!mem.leaks_residue(f).unwrap());
+        assert!(!d.is_tracked(1, hpa));
+        // Second fault on the same page: nothing to do.
+        assert!(!d.on_ept_fault(1, hpa));
+        let s = d.stats();
+        assert_eq!(s.lazily_zeroed, 1);
+        assert_eq!(s.tracked, 3);
+    }
+
+    #[test]
+    fn fault_on_untracked_pid_is_noop() {
+        let (mem, d) = setup();
+        let ranges = mem.alloc_frames(1, 1).unwrap();
+        d.register_pages(1, &ranges);
+        assert!(!d.on_ept_fault(2, mem.hpa_of(ranges[0].start)));
+        assert_eq!(d.stats().lazily_zeroed, 0);
+    }
+
+    #[test]
+    fn pids_are_isolated() {
+        let (mem, d) = setup();
+        let r1 = mem.alloc_frames(2, 1).unwrap();
+        let r2 = mem.alloc_frames(2, 2).unwrap();
+        d.register_pages(1, &r1);
+        d.register_pages(2, &r2);
+        assert_eq!(d.stats().tracked, 4);
+        assert_eq!(d.unregister_vm(1), 2);
+        assert_eq!(d.stats().tracked, 2);
+        assert!(d.is_tracked(2, mem.hpa_of(r2[0].start)));
+    }
+
+    #[test]
+    fn instant_zero_removes_from_tracking() {
+        let (mem, d) = setup();
+        let ranges = mem.alloc_frames(4, 1).unwrap();
+        d.register_pages(1, &ranges);
+        // Hypervisor is about to write the first two pages.
+        let head = FrameRange {
+            start: ranges[0].start,
+            count: 2,
+        };
+        d.instant_zero(1, &[head]).unwrap();
+        let s = d.stats();
+        assert_eq!(s.instantly_zeroed, 2);
+        assert_eq!(s.tracked, 2);
+        // A fault on an instant-zeroed page does nothing (data preserved).
+        assert!(!d.on_ept_fault(1, mem.hpa_of(ranges[0].start)));
+    }
+
+    #[test]
+    fn scrub_once_drains_in_batches() {
+        let (mem, d) = setup();
+        let ranges = mem.alloc_frames(8, 1).unwrap();
+        d.register_pages(1, &ranges);
+        assert_eq!(d.scrub_once(3), 3);
+        assert_eq!(d.scrub_once(100), 5);
+        assert_eq!(d.scrub_once(100), 0);
+        let s = d.stats();
+        assert_eq!(s.background_zeroed, 8);
+        assert_eq!(s.tracked, 0);
+        for r in &ranges {
+            for f in r.iter() {
+                assert!(!mem.leaks_residue(f).unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn scrubber_thread_drains_table() {
+        let (mem, d) = setup();
+        let ranges = mem.alloc_frames(8, 1).unwrap();
+        d.register_pages(1, &ranges);
+        let handle = d.start_scrubber(Duration::from_millis(1), 4);
+        // At 1e-5 scale the interval is sub-microsecond real; give the
+        // thread a moment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while d.stats().tracked > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.stop();
+        assert_eq!(d.stats().tracked, 0);
+        assert_eq!(d.stats().background_zeroed, 8);
+    }
+
+    #[test]
+    fn security_property_no_residue_after_any_zeroing_path() {
+        // Whatever path zeroes (fault, scrub, instant), a tracked page
+        // never reaches "readable by guest" state with residue.
+        let (mem, d) = setup();
+        let ranges = mem.alloc_frames(3, 1).unwrap();
+        d.register_pages(1, &ranges);
+        let frames: Vec<FrameId> = ranges.iter().flat_map(|r| r.iter()).collect();
+        // Page 0 via fault, page 1 via instant list, page 2 via scrubber.
+        d.on_ept_fault(1, mem.hpa_of(frames[0]));
+        d.instant_zero(
+            1,
+            &[FrameRange {
+                start: frames[1],
+                count: 1,
+            }],
+        )
+        .unwrap();
+        d.scrub_once(10);
+        for f in &frames {
+            assert!(!mem.leaks_residue(*f).unwrap());
+        }
+    }
+}

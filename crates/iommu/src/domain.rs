@@ -1,0 +1,325 @@
+//! IOMMU domains and the IOMMU unit.
+
+use crate::iotlb::Iotlb;
+use crate::table::{IoPageTable, TableError};
+use crate::{IommuError, Result};
+use fastiov_hostmem::{FrameRange, Hpa, Iova, PageSize, PhysMemory};
+use fastiov_simtime::Clock;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Identifier of an IOMMU translation domain (one per guest).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DomainId(pub u64);
+
+/// Per-domain counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IommuStats {
+    /// Pages currently mapped.
+    pub mapped_pages: usize,
+    /// Translations served.
+    pub translations: u64,
+    /// IOTLB hits.
+    pub tlb_hits: u64,
+    /// IOTLB misses (full walks).
+    pub tlb_misses: u64,
+    /// DMA faults taken.
+    pub dma_faults: u64,
+}
+
+/// One guest's translation domain: an I/O page table plus an IOTLB.
+pub struct IommuDomain {
+    id: DomainId,
+    page: PageSize,
+    clock: Clock,
+    /// Charged per page-table entry installed.
+    map_per_page: Duration,
+    /// Charged per full table walk (IOTLB miss).
+    walk_latency: Duration,
+    table: Mutex<IoPageTable>,
+    tlb: Mutex<Iotlb>,
+    translations: AtomicU64,
+    dma_faults: AtomicU64,
+}
+
+impl IommuDomain {
+    fn page_no(&self, iova: Iova) -> u64 {
+        iova.raw() / self.page.bytes()
+    }
+
+    /// Domain id.
+    pub fn id(&self) -> DomainId {
+        self.id
+    }
+
+    /// Page size of this domain.
+    pub fn page_size(&self) -> PageSize {
+        self.page
+    }
+
+    /// Maps `[iova, iova + ranges.bytes())` to the given physical ranges,
+    /// installing one entry per page and charging the per-entry cost.
+    pub fn map_range(&self, iova: Iova, ranges: &[FrameRange], mem: &PhysMemory) -> Result<()> {
+        if !iova.is_aligned(self.page.bytes()) {
+            return Err(IommuError::Unaligned(iova));
+        }
+        let mut pages = 0u32;
+        {
+            let mut table = self.table.lock();
+            let mut cursor = self.page_no(iova);
+            for r in ranges {
+                for f in r.iter() {
+                    match table.map(cursor, mem.hpa_of(f)) {
+                        Ok(()) => {}
+                        Err(TableError::Present) => {
+                            return Err(IommuError::AlreadyMapped(Iova(
+                                cursor * self.page.bytes(),
+                            )))
+                        }
+                        Err(_) => return Err(IommuError::Unaligned(iova)),
+                    }
+                    cursor += 1;
+                    pages += 1;
+                }
+            }
+        }
+        self.clock.sleep(self.map_per_page * pages);
+        Ok(())
+    }
+
+    /// Unmaps `count` pages starting at `iova`.
+    pub fn unmap_range(&self, iova: Iova, count: usize) -> Result<()> {
+        if !iova.is_aligned(self.page.bytes()) {
+            return Err(IommuError::Unaligned(iova));
+        }
+        let start = self.page_no(iova);
+        let mut table = self.table.lock();
+        let mut tlb = self.tlb.lock();
+        for p in start..start + count as u64 {
+            table
+                .unmap(p)
+                .map_err(|_| IommuError::NotMapped(Iova(p * self.page.bytes())))?;
+            tlb.invalidate(p);
+        }
+        Ok(())
+    }
+
+    /// Translates a device-issued IOVA; a miss is a [`IommuError::DmaFault`].
+    pub fn translate(&self, iova: Iova) -> Result<Hpa> {
+        self.translations.fetch_add(1, Ordering::Relaxed);
+        let page = self.page_no(iova);
+        let offset = iova.page_offset(self.page.bytes());
+        if let Some(base) = self.tlb.lock().lookup(page) {
+            return Ok(Hpa(base.raw() + offset));
+        }
+        // Full walk.
+        self.clock.sleep(self.walk_latency);
+        match self.table.lock().lookup(page) {
+            Some(base) => {
+                self.tlb.lock().insert(page, base);
+                Ok(Hpa(base.raw() + offset))
+            }
+            None => {
+                self.dma_faults.fetch_add(1, Ordering::Relaxed);
+                Err(IommuError::DmaFault(iova))
+            }
+        }
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> IommuStats {
+        let (tlb_hits, tlb_misses) = self.tlb.lock().stats();
+        IommuStats {
+            mapped_pages: self.table.lock().entries(),
+            translations: self.translations.load(Ordering::Relaxed),
+            tlb_hits,
+            tlb_misses,
+            dma_faults: self.dma_faults.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The IOMMU unit: domain registry plus device→domain attachment.
+pub struct Iommu {
+    clock: Clock,
+    map_per_page: Duration,
+    walk_latency: Duration,
+    tlb_capacity: usize,
+    inner: Mutex<IommuInner>,
+}
+
+struct IommuInner {
+    domains: HashMap<u64, Arc<IommuDomain>>,
+    next_id: u64,
+}
+
+impl Iommu {
+    /// Creates an IOMMU.
+    ///
+    /// `map_per_page` is charged per installed page-table entry;
+    /// `walk_latency` per IOTLB-missing translation.
+    pub fn new(
+        clock: Clock,
+        map_per_page: Duration,
+        walk_latency: Duration,
+        tlb_capacity: usize,
+    ) -> Arc<Self> {
+        Arc::new(Iommu {
+            clock,
+            map_per_page,
+            walk_latency,
+            tlb_capacity,
+            inner: Mutex::new(IommuInner {
+                domains: HashMap::new(),
+                next_id: 1,
+            }),
+        })
+    }
+
+    /// Creates a translation domain with the given page size.
+    pub fn create_domain(&self, page: PageSize) -> Arc<IommuDomain> {
+        let mut inner = self.inner.lock();
+        let id = DomainId(inner.next_id);
+        inner.next_id += 1;
+        let domain = Arc::new(IommuDomain {
+            id,
+            page,
+            clock: self.clock.clone(),
+            map_per_page: self.map_per_page,
+            walk_latency: self.walk_latency,
+            table: Mutex::new(IoPageTable::new()),
+            tlb: Mutex::new(Iotlb::new(self.tlb_capacity)),
+            translations: AtomicU64::new(0),
+            dma_faults: AtomicU64::new(0),
+        });
+        inner.domains.insert(id.0, Arc::clone(&domain));
+        domain
+    }
+
+    /// Looks up a domain by id.
+    pub fn domain(&self, id: DomainId) -> Result<Arc<IommuDomain>> {
+        self.inner
+            .lock()
+            .domains
+            .get(&id.0)
+            .cloned()
+            .ok_or(IommuError::NoDomain(id.0))
+    }
+
+    /// Destroys a domain.
+    pub fn destroy_domain(&self, id: DomainId) -> Result<()> {
+        self.inner
+            .lock()
+            .domains
+            .remove(&id.0)
+            .map(|_| ())
+            .ok_or(IommuError::NoDomain(id.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastiov_hostmem::MemCosts;
+
+    fn setup() -> (Arc<PhysMemory>, Arc<IommuDomain>) {
+        let mem = PhysMemory::new(MemCosts::for_tests(), PageSize::Size2M, 64);
+        let iommu = Iommu::new(
+            Clock::with_scale(1e-5),
+            Duration::from_nanos(200),
+            Duration::from_nanos(500),
+            64,
+        );
+        (mem, iommu.create_domain(PageSize::Size2M))
+    }
+
+    const PAGE: u64 = 2 * 1024 * 1024;
+
+    #[test]
+    fn map_then_translate() {
+        let (mem, dom) = setup();
+        let ranges = mem.alloc_frames(4, 1).unwrap();
+        dom.map_range(Iova(0), &ranges, &mem).unwrap();
+        let hpa = dom.translate(Iova(PAGE + 123)).unwrap();
+        // Second mapped page, offset 123.
+        let expected = mem.hpa_of(ranges.iter().flat_map(|r| r.iter()).nth(1).unwrap());
+        assert_eq!(hpa, Hpa(expected.raw() + 123));
+        assert_eq!(dom.stats().mapped_pages, 4);
+    }
+
+    #[test]
+    fn unmapped_translation_is_dma_fault() {
+        let (_, dom) = setup();
+        let e = dom.translate(Iova(0)).unwrap_err();
+        assert!(matches!(e, IommuError::DmaFault(_)));
+        assert_eq!(dom.stats().dma_faults, 1);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let (mem, dom) = setup();
+        let r = mem.alloc_frames(1, 1).unwrap();
+        dom.map_range(Iova(0), &r, &mem).unwrap();
+        assert!(matches!(
+            dom.map_range(Iova(0), &r, &mem),
+            Err(IommuError::AlreadyMapped(_))
+        ));
+    }
+
+    #[test]
+    fn unmap_invalidates_tlb() {
+        let (mem, dom) = setup();
+        let r = mem.alloc_frames(1, 1).unwrap();
+        dom.map_range(Iova(0), &r, &mem).unwrap();
+        dom.translate(Iova(0)).unwrap(); // warm TLB
+        dom.unmap_range(Iova(0), 1).unwrap();
+        assert!(matches!(
+            dom.translate(Iova(0)),
+            Err(IommuError::DmaFault(_))
+        ));
+    }
+
+    #[test]
+    fn unaligned_rejected() {
+        let (mem, dom) = setup();
+        let r = mem.alloc_frames(1, 1).unwrap();
+        assert!(matches!(
+            dom.map_range(Iova(7), &r, &mem),
+            Err(IommuError::Unaligned(_))
+        ));
+        assert!(matches!(
+            dom.unmap_range(Iova(7), 1),
+            Err(IommuError::Unaligned(_))
+        ));
+    }
+
+    #[test]
+    fn tlb_hits_counted() {
+        let (mem, dom) = setup();
+        let r = mem.alloc_frames(1, 1).unwrap();
+        dom.map_range(Iova(0), &r, &mem).unwrap();
+        dom.translate(Iova(0)).unwrap();
+        dom.translate(Iova(10)).unwrap();
+        let s = dom.stats();
+        assert_eq!(s.tlb_hits, 1);
+        assert_eq!(s.tlb_misses, 1);
+        assert_eq!(s.translations, 2);
+    }
+
+    #[test]
+    fn iommu_domain_registry() {
+        let iommu = Iommu::new(
+            Clock::with_scale(1e-5),
+            Duration::from_nanos(200),
+            Duration::from_nanos(500),
+            16,
+        );
+        let d = iommu.create_domain(PageSize::Size2M);
+        assert_eq!(iommu.domain(d.id()).unwrap().id(), d.id());
+        iommu.destroy_domain(d.id()).unwrap();
+        assert!(iommu.domain(d.id()).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! A 3-level radix page table over page numbers.
+//!
+//! Mirrors the structure of a real I/O page table (9-bit indices per
+//! level, covering 2^27 pages); used both by the IOMMU domains here and by
+//! the EPT in `fastiov-kvm`.
+
+use fastiov_hostmem::Hpa;
+
+const FANOUT: usize = 512;
+const BITS: u32 = 9;
+
+type Leaf = Box<[Option<Hpa>; FANOUT]>;
+type Mid = Box<[Option<Leaf>; FANOUT]>;
+
+/// A 3-level radix table mapping page numbers to host physical addresses.
+///
+/// # Examples
+///
+/// ```
+/// use fastiov_iommu::IoPageTable;
+/// use fastiov_hostmem::Hpa;
+///
+/// let mut t = IoPageTable::new();
+/// t.map(42, Hpa(0x20_0000)).unwrap();
+/// assert_eq!(t.lookup(42), Some(Hpa(0x20_0000)));
+/// assert_eq!(t.lookup(43), None);
+/// ```
+pub struct IoPageTable {
+    root: Box<[Option<Mid>; FANOUT]>,
+    entries: usize,
+}
+
+/// Why a map/unmap failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableError {
+    /// Entry already present.
+    Present,
+    /// Entry absent.
+    Absent,
+    /// Page number exceeds the 27-bit space.
+    OutOfRange,
+}
+
+impl IoPageTable {
+    /// Maximum mappable page number (exclusive).
+    pub const MAX_PAGES: u64 = 1 << (3 * BITS);
+
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        IoPageTable {
+            root: empty_array(),
+            entries: 0,
+        }
+    }
+
+    fn split(page: u64) -> (usize, usize, usize) {
+        let l3 = (page & (FANOUT as u64 - 1)) as usize;
+        let l2 = ((page >> BITS) & (FANOUT as u64 - 1)) as usize;
+        let l1 = ((page >> (2 * BITS)) & (FANOUT as u64 - 1)) as usize;
+        (l1, l2, l3)
+    }
+
+    /// Installs `page → hpa`.
+    pub fn map(&mut self, page: u64, hpa: Hpa) -> std::result::Result<(), TableError> {
+        if page >= Self::MAX_PAGES {
+            return Err(TableError::OutOfRange);
+        }
+        let (i1, i2, i3) = Self::split(page);
+        let mid = self.root[i1].get_or_insert_with(empty_array);
+        let leaf = mid[i2].get_or_insert_with(empty_array);
+        if leaf[i3].is_some() {
+            return Err(TableError::Present);
+        }
+        leaf[i3] = Some(hpa);
+        self.entries += 1;
+        Ok(())
+    }
+
+    /// Removes the entry for `page`, returning the old HPA.
+    pub fn unmap(&mut self, page: u64) -> std::result::Result<Hpa, TableError> {
+        if page >= Self::MAX_PAGES {
+            return Err(TableError::OutOfRange);
+        }
+        let (i1, i2, i3) = Self::split(page);
+        let slot = self.root[i1]
+            .as_mut()
+            .and_then(|m| m[i2].as_mut())
+            .map(|l| &mut l[i3]);
+        match slot {
+            Some(s) if s.is_some() => {
+                let hpa = s.take().expect("checked is_some");
+                self.entries -= 1;
+                Ok(hpa)
+            }
+            _ => Err(TableError::Absent),
+        }
+    }
+
+    /// Looks up the translation for `page`.
+    pub fn lookup(&self, page: u64) -> Option<Hpa> {
+        if page >= Self::MAX_PAGES {
+            return None;
+        }
+        let (i1, i2, i3) = Self::split(page);
+        self.root[i1]
+            .as_ref()
+            .and_then(|m| m[i2].as_ref())
+            .and_then(|l| l[i3])
+    }
+
+    /// Number of installed entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+}
+
+impl Default for IoPageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn empty_array<T>() -> Box<[Option<T>; FANOUT]> {
+    // A Vec avoids putting the 512-slot array on the stack during
+    // construction.
+    let v: Vec<Option<T>> = (0..FANOUT).map(|_| None).collect();
+    v.into_boxed_slice()
+        .try_into()
+        .unwrap_or_else(|_| unreachable!("length is FANOUT"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut t = IoPageTable::new();
+        t.map(0, Hpa(0x1000)).unwrap();
+        t.map(511, Hpa(0x2000)).unwrap();
+        t.map(512, Hpa(0x3000)).unwrap();
+        t.map(IoPageTable::MAX_PAGES - 1, Hpa(0x4000)).unwrap();
+        assert_eq!(t.entries(), 4);
+        assert_eq!(t.lookup(512), Some(Hpa(0x3000)));
+        assert_eq!(t.unmap(512).unwrap(), Hpa(0x3000));
+        assert_eq!(t.lookup(512), None);
+        assert_eq!(t.entries(), 3);
+    }
+
+    #[test]
+    fn double_map_rejected() {
+        let mut t = IoPageTable::new();
+        t.map(7, Hpa(0x1000)).unwrap();
+        assert_eq!(t.map(7, Hpa(0x2000)), Err(TableError::Present));
+        // Original mapping intact.
+        assert_eq!(t.lookup(7), Some(Hpa(0x1000)));
+    }
+
+    #[test]
+    fn unmap_absent_rejected() {
+        let mut t = IoPageTable::new();
+        assert_eq!(t.unmap(7), Err(TableError::Absent));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut t = IoPageTable::new();
+        assert_eq!(
+            t.map(IoPageTable::MAX_PAGES, Hpa(0)),
+            Err(TableError::OutOfRange)
+        );
+        assert_eq!(t.lookup(IoPageTable::MAX_PAGES), None);
+    }
+
+    #[test]
+    fn dense_range_round_trips() {
+        let mut t = IoPageTable::new();
+        for p in 0..2048u64 {
+            t.map(p, Hpa(p * 0x1000)).unwrap();
+        }
+        for p in 0..2048u64 {
+            assert_eq!(t.lookup(p), Some(Hpa(p * 0x1000)));
+        }
+        assert_eq!(t.entries(), 2048);
+    }
+}

@@ -1,0 +1,73 @@
+//! MSI-X interrupts.
+//!
+//! On the passthrough data plane the guest accesses the device directly;
+//! the one thing still relayed through the hypervisor is the interrupt
+//! signal (§2.1). The DMA engine raises a vector on each completion; an
+//! [`InterruptSink`] — the hypervisor's IRQ router in the full stack —
+//! forwards it into the guest, charging the relay cost.
+
+use crate::vf::VfId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// An MSI-X vector index within a VF's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsixVector(pub u16);
+
+/// Vector raised on RX completions.
+pub const RX_VECTOR: MsixVector = MsixVector(0);
+
+/// Vector raised on TX completions.
+pub const TX_VECTOR: MsixVector = MsixVector(1);
+
+/// Vector raised on link/admin events.
+pub const MISC_VECTOR: MsixVector = MsixVector(2);
+
+/// Receiver of device interrupts (the hypervisor relay).
+pub trait InterruptSink: Send + Sync {
+    /// A device raised `vector` for `vf`.
+    fn raise(&self, vf: VfId, vector: MsixVector);
+}
+
+/// A sink that only counts (default when no hypervisor is attached).
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    raised: AtomicU64,
+}
+
+impl CountingSink {
+    /// Creates the sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(CountingSink::default())
+    }
+
+    /// Interrupts observed.
+    pub fn raised(&self) -> u64 {
+        self.raised.load(Ordering::Relaxed)
+    }
+}
+
+impl InterruptSink for CountingSink {
+    fn raise(&self, _vf: VfId, _vector: MsixVector) {
+        self.raised.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_counts() {
+        let s = CountingSink::new();
+        s.raise(VfId(0), RX_VECTOR);
+        s.raise(VfId(1), TX_VECTOR);
+        assert_eq!(s.raised(), 2);
+    }
+
+    #[test]
+    fn well_known_vectors_are_distinct() {
+        assert_ne!(RX_VECTOR, TX_VECTOR);
+        assert_ne!(TX_VECTOR, MISC_VECTOR);
+    }
+}

@@ -1,0 +1,79 @@
+//! A minimal PCI configuration space.
+
+use parking_lot::Mutex;
+
+/// Number of 32-bit registers modelled (256-byte config header).
+pub const CONFIG_REGS: usize = 64;
+
+/// Well-known register indices used by the workspace.
+pub mod regs {
+    /// Vendor/device id.
+    pub const ID: u16 = 0;
+    /// Command/status.
+    pub const COMMAND: u16 = 1;
+    /// BAR0 (queue memory base, in this model).
+    pub const BAR0: u16 = 4;
+    /// MSI-X control.
+    pub const MSIX: u16 = 16;
+}
+
+/// A lockable 256-byte configuration space.
+#[derive(Debug)]
+pub struct ConfigSpace {
+    regs: Mutex<[u32; CONFIG_REGS]>,
+}
+
+impl ConfigSpace {
+    /// Creates a zeroed config space.
+    pub fn new() -> Self {
+        ConfigSpace {
+            regs: Mutex::new([0; CONFIG_REGS]),
+        }
+    }
+
+    /// Reads register `idx`.
+    pub fn read(&self, idx: u16) -> crate::Result<u32> {
+        self.regs
+            .lock()
+            .get(idx as usize)
+            .copied()
+            .ok_or(crate::PciError::BadRegister(idx))
+    }
+
+    /// Writes register `idx`.
+    pub fn write(&self, idx: u16, value: u32) -> crate::Result<()> {
+        match self.regs.lock().get_mut(idx as usize) {
+            Some(r) => {
+                *r = value;
+                Ok(())
+            }
+            None => Err(crate::PciError::BadRegister(idx)),
+        }
+    }
+}
+
+impl Default for ConfigSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let c = ConfigSpace::new();
+        c.write(regs::BAR0, 0xfeed_0000).unwrap();
+        assert_eq!(c.read(regs::BAR0).unwrap(), 0xfeed_0000);
+        assert_eq!(c.read(regs::ID).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let c = ConfigSpace::new();
+        assert!(c.read(64).is_err());
+        assert!(c.write(1000, 1).is_err());
+    }
+}

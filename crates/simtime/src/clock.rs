@@ -1,0 +1,211 @@
+//! The scaled simulation clock.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A point in simulated time, measured since the owning [`Clock`]'s origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant(Duration);
+
+impl SimInstant {
+    /// The clock origin (simulated time zero).
+    pub const ZERO: SimInstant = SimInstant(Duration::ZERO);
+
+    /// Creates an instant at `d` past the origin.
+    pub fn from_origin(d: Duration) -> Self {
+        SimInstant(d)
+    }
+
+    /// Simulated time elapsed since the origin.
+    pub fn since_origin(self) -> Duration {
+        self.0
+    }
+
+    /// Simulated duration since `earlier`, saturating to zero.
+    pub fn duration_since(self, earlier: SimInstant) -> Duration {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Returns this instant advanced by `d`.
+    pub fn advanced_by(self, d: Duration) -> SimInstant {
+        SimInstant(self.0 + d)
+    }
+
+    /// Simulated seconds since the origin as a float, for reporting.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0.as_secs_f64()
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0.as_secs_f64())
+    }
+}
+
+/// A wall-clock-backed simulation clock with a configurable time scale.
+///
+/// `scale` is the ratio of real time to simulated time: with the default
+/// scale of `0.01`, one simulated second costs ten real milliseconds. The
+/// clock is cheap to clone (it is an `Arc` internally) and is shared by
+/// every component of a simulated host.
+///
+/// # Examples
+///
+/// ```
+/// use fastiov_simtime::Clock;
+/// use std::time::Duration;
+///
+/// let clock = Clock::with_scale(0.001);
+/// let t0 = clock.now();
+/// clock.sleep(Duration::from_millis(50)); // 50 simulated ms = 50 real us
+/// assert!(clock.now().duration_since(t0) >= Duration::from_millis(40));
+/// ```
+#[derive(Clone)]
+pub struct Clock {
+    inner: Arc<ClockInner>,
+}
+
+struct ClockInner {
+    origin: Instant,
+    scale: f64,
+}
+
+impl Clock {
+    /// Default time scale used by experiments: 1 simulated second costs
+    /// 10 ms of wall-clock time, so a paper-scale 200-container run (tens of
+    /// simulated seconds per container) completes in well under a minute.
+    pub const DEFAULT_SCALE: f64 = 0.01;
+
+    /// Creates a clock with [`Clock::DEFAULT_SCALE`].
+    pub fn new() -> Self {
+        Self::with_scale(Self::DEFAULT_SCALE)
+    }
+
+    /// Creates a clock with an explicit real/simulated time ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn with_scale(scale: f64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "time scale must be finite and positive, got {scale}"
+        );
+        minimize_timer_slack();
+        Clock {
+            inner: Arc::new(ClockInner {
+                origin: Instant::now(),
+                scale,
+            }),
+        }
+    }
+
+    /// The real/simulated time ratio of this clock.
+    pub fn scale(&self) -> f64 {
+        self.inner.scale
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimInstant {
+        let real = self.inner.origin.elapsed();
+        SimInstant(Duration::from_secs_f64(
+            real.as_secs_f64() / self.inner.scale,
+        ))
+    }
+
+    /// Blocks the calling thread for `sim` of simulated time.
+    ///
+    /// This is the primitive every modelled hardware or kernel latency goes
+    /// through. Sub-microsecond real sleeps are skipped: at practical scales
+    /// they are below OS timer resolution and only add noise.
+    pub fn sleep(&self, sim: Duration) {
+        let real = Duration::from_secs_f64(sim.as_secs_f64() * self.inner.scale);
+        if real >= Duration::from_micros(1) {
+            std::thread::sleep(real);
+        }
+    }
+
+    /// Converts a simulated duration into the real duration it would block.
+    pub fn to_real(&self, sim: Duration) -> Duration {
+        Duration::from_secs_f64(sim.as_secs_f64() * self.inner.scale)
+    }
+
+    /// Converts a measured real duration into simulated time.
+    pub fn to_sim(&self, real: Duration) -> Duration {
+        Duration::from_secs_f64(real.as_secs_f64() / self.inner.scale)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shrinks the kernel's nanosleep timer slack for this process (Linux
+/// default: 50 µs). Scaled sleeps are the simulation's unit of cost, so
+/// per-sleep overshoot would otherwise bias every measured stage upward.
+/// Best effort: failures (non-Linux, sandboxes) are ignored.
+fn minimize_timer_slack() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let _ = std::fs::write("/proc/self/timerslack_ns", "1");
+    });
+}
+
+impl fmt::Debug for Clock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Clock")
+            .field("scale", &self.inner.scale)
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_instant_arithmetic() {
+        let a = SimInstant::from_origin(Duration::from_secs(2));
+        let b = a.advanced_by(Duration::from_secs(3));
+        assert_eq!(b.duration_since(a), Duration::from_secs(3));
+        // Saturating in the other direction.
+        assert_eq!(a.duration_since(b), Duration::ZERO);
+        assert_eq!(b.as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn clock_advances_in_sim_units() {
+        let clock = Clock::with_scale(0.0001);
+        let t0 = clock.now();
+        clock.sleep(Duration::from_secs(1)); // 0.1 ms real
+        let dt = clock.now().duration_since(t0);
+        assert!(dt >= Duration::from_millis(900), "sim dt {dt:?}");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let clock = Clock::with_scale(0.5);
+        let sim = Duration::from_millis(100);
+        let real = clock.to_real(sim);
+        assert_eq!(real, Duration::from_millis(50));
+        assert_eq!(clock.to_sim(real), sim);
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale must be finite")]
+    fn rejects_zero_scale() {
+        let _ = Clock::with_scale(0.0);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        let t = SimInstant::from_origin(Duration::from_millis(1234));
+        assert_eq!(t.to_string(), "1.234s");
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-container stage timelines.
+//!
+//! The paper's measurement methodology (§3.1) instruments every component
+//! with an asynchronous logging tool and reconstructs a per-container
+//! timeline of named stages (Fig. 5). [`StageLog`] is the equivalent here:
+//! each container thread owns one and records `(stage, start, end)`
+//! triples in simulated time.
+
+use crate::{Clock, SimInstant};
+use std::time::Duration;
+
+/// One recorded stage interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Stage name, e.g. `"4-vfio-dev"`.
+    pub name: String,
+    /// Simulated start time.
+    pub start: SimInstant,
+    /// Simulated end time.
+    pub end: SimInstant,
+}
+
+impl StageRecord {
+    /// Duration of the stage.
+    pub fn duration(&self) -> Duration {
+        self.end.duration_since(self.start)
+    }
+}
+
+/// An append-only log of stage intervals for a single container startup.
+#[derive(Debug, Clone)]
+pub struct StageLog {
+    clock: Clock,
+    records: Vec<StageRecord>,
+    started: SimInstant,
+}
+
+impl StageLog {
+    /// Creates a log whose container start time is "now".
+    pub fn begin(clock: Clock) -> Self {
+        let started = clock.now();
+        StageLog {
+            clock,
+            records: Vec::new(),
+            started,
+        }
+    }
+
+    /// Simulated time at which this container's startup began.
+    pub fn started(&self) -> SimInstant {
+        self.started
+    }
+
+    /// Times `f` and records it under `name`.
+    pub fn stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = self.clock.now();
+        let r = f();
+        let end = self.clock.now();
+        self.records.push(StageRecord {
+            name: name.to_string(),
+            start,
+            end,
+        });
+        r
+    }
+
+    /// Records an externally measured interval.
+    pub fn record(&mut self, name: &str, start: SimInstant, end: SimInstant) {
+        self.records.push(StageRecord {
+            name: name.to_string(),
+            start,
+            end,
+        });
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Total duration of all records with the given stage name.
+    pub fn total_for(&self, name: &str) -> Duration {
+        self.records
+            .iter()
+            .filter(|r| r.name == name)
+            .map(StageRecord::duration)
+            .sum()
+    }
+
+    /// Simulated duration from startup begin until now.
+    pub fn elapsed(&self) -> Duration {
+        self.clock.now().duration_since(self.started)
+    }
+
+    /// Merges the records of `other` into `self` (used when a sub-component
+    /// built its own log, e.g. the hypervisor attach path).
+    pub fn absorb(&mut self, other: StageLog) {
+        self.records.extend(other.records);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_records_interval_and_result() {
+        let clock = Clock::with_scale(0.0001);
+        let mut log = StageLog::begin(clock.clone());
+        let v = log.stage("0-cgroup", || {
+            clock.sleep(Duration::from_millis(10));
+            7
+        });
+        assert_eq!(v, 7);
+        assert_eq!(log.records().len(), 1);
+        let r = &log.records()[0];
+        assert_eq!(r.name, "0-cgroup");
+        assert!(r.duration() >= Duration::from_millis(8));
+        assert!(log.total_for("0-cgroup") >= Duration::from_millis(8));
+        assert_eq!(log.total_for("missing"), Duration::ZERO);
+    }
+
+    #[test]
+    fn total_sums_repeated_stages() {
+        let clock = Clock::with_scale(0.001);
+        let mut log = StageLog::begin(clock.clone());
+        for _ in 0..3 {
+            log.stage("1-dma-ram", || clock.sleep(Duration::from_millis(5)));
+        }
+        assert!(log.total_for("1-dma-ram") >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn absorb_merges_records() {
+        let clock = Clock::with_scale(0.0001);
+        let mut a = StageLog::begin(clock.clone());
+        let mut b = StageLog::begin(clock.clone());
+        b.stage("x", || {});
+        a.absorb(b);
+        assert_eq!(a.records().len(), 1);
+        assert_eq!(a.records()[0].name, "x");
+    }
+}

@@ -1,0 +1,75 @@
+//! Para-virtualized devices: the vring protocol, virtioFS, virtio-net.
+//!
+//! Para-virtualization exchanges data through buffers *shared* between the
+//! guest and the host (§4.3.2): the guest posts buffer addresses into a
+//! vring (itself shared memory); the host backend writes data into those
+//! buffers **directly through its own page tables, bypassing the EPT**.
+//!
+//! That bypass is FastIOV's second lazy-zeroing hazard: if the guest has
+//! never touched a shared buffer, its first *read* takes an EPT fault
+//! — and naive lazy zeroing would wipe the data the host just wrote.
+//! FastIOV's frontend therefore triggers **proactive EPT faults** (a read
+//! of the first byte of each buffer page) *before* posting the buffer
+//! address. Both behaviours are implemented here, switchable per device,
+//! so the corruption is reproducible and the fix testable.
+
+#![warn(missing_docs)]
+
+pub mod fs;
+pub mod net;
+pub mod vring;
+
+pub use fs::{VirtioFs, VirtioFsStats};
+pub use net::VirtioNet;
+pub use vring::{Descriptor, Vring, VRING_SLOTS};
+
+use fastiov_hostmem::{Gpa, MemError};
+use fastiov_kvm::KvmError;
+use std::fmt;
+
+/// Errors from the virtio models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VirtioError {
+    /// The vring is full (guest posted too many descriptors).
+    RingFull,
+    /// Host popped an empty ring.
+    RingEmpty,
+    /// Unknown file in the shared directory.
+    NoSuchFile(String),
+    /// A descriptor pointed outside guest memory.
+    BadDescriptor(Gpa),
+    /// Underlying KVM error.
+    Kvm(KvmError),
+    /// Underlying memory error.
+    Mem(MemError),
+}
+
+impl fmt::Display for VirtioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VirtioError::RingFull => write!(f, "vring full"),
+            VirtioError::RingEmpty => write!(f, "vring empty"),
+            VirtioError::NoSuchFile(n) => write!(f, "no such shared file: {n}"),
+            VirtioError::BadDescriptor(g) => write!(f, "descriptor points outside memory: {g}"),
+            VirtioError::Kvm(e) => write!(f, "kvm: {e}"),
+            VirtioError::Mem(e) => write!(f, "memory: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VirtioError {}
+
+impl From<KvmError> for VirtioError {
+    fn from(e: KvmError) -> Self {
+        VirtioError::Kvm(e)
+    }
+}
+
+impl From<MemError> for VirtioError {
+    fn from(e: MemError) -> Self {
+        VirtioError::Mem(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, VirtioError>;

@@ -1,0 +1,9 @@
+//! Workspace-level façade for the FastIOV reproduction.
+//!
+//! This crate exists so that the repository-level `examples/` and
+//! `tests/` directories can exercise the whole stack through one
+//! dependency. All functionality lives in the member crates; see the
+//! [`fastiov`] crate for the main API and `DESIGN.md` for the system
+//! inventory.
+
+pub use fastiov::*;

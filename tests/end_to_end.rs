@@ -1,0 +1,173 @@
+//! End-to-end experiment invariants across baselines.
+//!
+//! These run the full stack (engine → CNI → hypervisor → VFIO → KVM →
+//! fastiovd → NIC) at a small scale and assert the *orderings* the paper
+//! establishes, which must hold at any scale.
+
+use fastiov_repro::apps::AppKind;
+use fastiov_repro::microvm::stages;
+use fastiov_repro::{
+    run_app_experiment, run_startup_experiment, Baseline, ExperimentConfig, StartupRunResult,
+};
+use std::time::Duration;
+
+fn smoke(baseline: Baseline, conc: u32) -> StartupRunResult {
+    run_startup_experiment(&ExperimentConfig::smoke(baseline, conc)).expect("startup run")
+}
+
+/// Like `smoke` but at a coarser time scale, so modelled costs dominate
+/// scheduling noise and ordering assertions are stable.
+fn timed(baseline: Baseline, conc: u32) -> StartupRunResult {
+    let mut cfg = ExperimentConfig::smoke(baseline, conc);
+    cfg.host.time_scale = 1e-2;
+    run_startup_experiment(&cfg).expect("startup run")
+}
+
+#[test]
+fn fastiov_beats_vanilla_on_vf_related_time() {
+    let vanilla = timed(Baseline::Vanilla, 8);
+    let fast = timed(Baseline::FastIov, 8);
+    assert!(
+        fast.vf_related.mean < vanilla.vf_related.mean,
+        "FastIOV vf-related {:?} must beat vanilla {:?}",
+        fast.vf_related.mean,
+        vanilla.vf_related.mean
+    );
+}
+
+#[test]
+fn no_net_has_zero_vf_time_and_fastiov_approaches_it() {
+    let nonet = timed(Baseline::NoNet, 6);
+    let fast = timed(Baseline::FastIov, 6);
+    let vanilla = timed(Baseline::Vanilla, 6);
+    assert_eq!(nonet.vf_related.mean, Duration::ZERO);
+    // FastIOV's distance to no-net must be smaller than vanilla's, and
+    // its VF-related time a small fraction of vanilla's (the noise-free
+    // signal: VF-related time excludes the shared startup stages).
+    let fast_gap = fast.total.mean.saturating_sub(nonet.total.mean);
+    let vanilla_gap = vanilla.total.mean.saturating_sub(nonet.total.mean);
+    assert!(
+        fast_gap < vanilla_gap,
+        "fast gap {fast_gap:?} vs vanilla gap {vanilla_gap:?}"
+    );
+    assert!(
+        fast.vf_related.mean * 2 < vanilla.vf_related.mean,
+        "fast vf {:?} vs vanilla vf {:?}",
+        fast.vf_related.mean,
+        vanilla.vf_related.mean
+    );
+}
+
+#[test]
+fn every_ablation_variant_lands_between_vanilla_and_fastiov() {
+    let vanilla = timed(Baseline::Vanilla, 8);
+    let fast = timed(Baseline::FastIov, 8);
+    for variant in [
+        Baseline::FastIovMinusL,
+        Baseline::FastIovMinusA,
+        Baseline::FastIovMinusS,
+        Baseline::FastIovMinusD,
+    ] {
+        let run = timed(variant, 8);
+        // Each variant is missing one optimization: no better than full
+        // FastIOV (small tolerance for scheduling noise), no worse than
+        // 1.2x vanilla.
+        assert!(
+            run.total.mean.as_secs_f64() >= fast.total.mean.as_secs_f64() * 0.8,
+            "{variant} unexpectedly faster than FastIOV"
+        );
+        assert!(
+            run.total.mean.as_secs_f64() <= vanilla.total.mean.as_secs_f64() * 1.2,
+            "{variant} slower than vanilla"
+        );
+    }
+}
+
+#[test]
+fn prezero_improves_vanilla_dma_stage() {
+    let vanilla = smoke(Baseline::Vanilla, 8);
+    let pre = smoke(Baseline::Prezero(100), 8);
+    let v_dma = vanilla.stage_means[stages::DMA_RAM];
+    let p_dma = pre.stage_means[stages::DMA_RAM];
+    assert!(
+        p_dma <= v_dma,
+        "pre-zeroing must not make DMA mapping slower: {p_dma:?} vs {v_dma:?}"
+    );
+}
+
+#[test]
+fn fastiov_skips_image_stage_and_vanilla_does_not() {
+    let vanilla = smoke(Baseline::Vanilla, 4);
+    let fast = smoke(Baseline::FastIov, 4);
+    assert!(vanilla.stage_means[stages::DMA_IMAGE] > Duration::ZERO);
+    assert_eq!(fast.stage_means[stages::DMA_IMAGE], Duration::ZERO);
+    // Async init: no synchronous driver stage for FastIOV.
+    assert!(vanilla.stage_means[stages::VF_DRIVER] > Duration::ZERO);
+    assert_eq!(fast.stage_means[stages::VF_DRIVER], Duration::ZERO);
+}
+
+#[test]
+fn ipvtap_records_addcni_and_no_vf_stages() {
+    let run = smoke(Baseline::Ipvtap, 6);
+    assert!(run.stage_means[stages::ADD_CNI] > Duration::ZERO);
+    assert_eq!(run.vf_related.mean, Duration::ZERO);
+}
+
+#[test]
+fn original_cni_is_slower_than_fixed_cni() {
+    let original = timed(Baseline::VanillaOriginal, 6);
+    let fixed = timed(Baseline::Vanilla, 6);
+    // Binding to the host driver and rebinding to VFIO every launch costs
+    // strictly more than the pre-bound flow (§5).
+    assert!(
+        original.total.mean > fixed.total.mean,
+        "original {:?} vs fixed {:?}",
+        original.total.mean,
+        fixed.total.mean
+    );
+}
+
+#[test]
+fn serverless_tasks_complete_and_fastiov_wins() {
+    let mut cfg_v = ExperimentConfig::smoke(Baseline::Vanilla, 4);
+    cfg_v.host.time_scale = 1e-2;
+    let mut cfg_f = ExperimentConfig::smoke(Baseline::FastIov, 4);
+    cfg_f.host.time_scale = 1e-2;
+    let van = run_app_experiment(&cfg_v, AppKind::Image).expect("vanilla tasks");
+    let fast = run_app_experiment(&cfg_f, AppKind::Image).expect("fastiov tasks");
+    assert_eq!(van.tasks.len(), 4);
+    assert_eq!(fast.tasks.len(), 4);
+    for t in van.tasks.iter().chain(&fast.tasks) {
+        assert!(t.completion >= t.startup);
+        assert_eq!(t.downloaded, 2 * 1024 * 1024);
+    }
+    // The startup portion is the noise-robust signal; completions carry
+    // identical execution/download times plus scheduling jitter.
+    let van_startup: Duration = van.tasks.iter().map(|t| t.startup).sum();
+    let fast_startup: Duration = fast.tasks.iter().map(|t| t.startup).sum();
+    assert!(
+        fast_startup < van_startup,
+        "fastiov startup {fast_startup:?} vs vanilla {van_startup:?}"
+    );
+    assert!(
+        fast.completion.mean.as_secs_f64() <= van.completion.mean.as_secs_f64() * 1.05,
+        "fastiov completion {:?} vs vanilla {:?}",
+        fast.completion.mean,
+        van.completion.mean
+    );
+}
+
+#[test]
+fn startup_reports_are_internally_consistent() {
+    let run = smoke(Baseline::Vanilla, 6);
+    for r in &run.reports {
+        assert_eq!(r.vf_related() + r.others(), r.total);
+        for rec in &r.records {
+            assert!(rec.end >= rec.start);
+            assert!(rec.start >= r.started);
+        }
+    }
+    assert!(run.total.p99 >= run.total.p50);
+    assert!(run.total.max >= run.total.p99);
+    assert!(run.total.min <= run.total.p50);
+}
