@@ -275,7 +275,12 @@ mod tests {
                 VmOptions::vanilla(mib(64), mib(32)),
             )
         };
-        Engine::new(host, EngineParams::paper(), PodNetworking::Sriov(plugin), opts)
+        Engine::new(
+            host,
+            EngineParams::paper(),
+            PodNetworking::Sriov(plugin),
+            opts,
+        )
     }
 
     fn small_params() -> TaskParams {
@@ -325,7 +330,10 @@ mod tests {
         let r = run_serverless_task(&engine, 0, w.as_ref(), &storage, &small_params()).unwrap();
         assert!(matches!(
             r.output,
-            WorkloadOutput::Traversal { visited: 10_000, .. }
+            WorkloadOutput::Traversal {
+                visited: 10_000,
+                ..
+            }
         ));
     }
 }

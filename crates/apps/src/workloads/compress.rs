@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn round_trip_text() {
-        let data = b"abcabcabcabc the quick brown fox jumps over the lazy dog dog dog"
-            .repeat(50);
+        let data = b"abcabcabcabc the quick brown fox jumps over the lazy dog dog dog".repeat(50);
         let c = compress(&data);
         assert!(c.len() < data.len(), "{} !< {}", c.len(), data.len());
         assert_eq!(decompress(&c).unwrap(), data);
@@ -196,10 +195,7 @@ mod tests {
     fn decompress_rejects_garbage() {
         assert_eq!(decompress(&[0x07]), Err(LzError::BadTag(0x07)));
         assert_eq!(decompress(&[0x00, 5, 1, 2]), Err(LzError::Truncated));
-        assert_eq!(
-            decompress(&[0x01, 10, 0, 3]),
-            Err(LzError::BadDistance)
-        );
+        assert_eq!(decompress(&[0x01, 10, 0, 3]), Err(LzError::BadDistance));
     }
 
     #[test]

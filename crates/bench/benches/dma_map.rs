@@ -37,7 +37,12 @@ fn dma_map(c: &mut Criterion) {
             |(_, container)| {
                 let hva = container.address_space().mmap("ram", pages * PAGE).unwrap();
                 container
-                    .dma_map(hva, pages * PAGE, fastiov::hostmem::Iova(0), DmaZeroMode::Eager)
+                    .dma_map(
+                        hva,
+                        pages * PAGE,
+                        fastiov::hostmem::Iova(0),
+                        DmaZeroMode::Eager,
+                    )
                     .unwrap();
             },
             criterion::BatchSize::PerIteration,
@@ -49,7 +54,12 @@ fn dma_map(c: &mut Criterion) {
             |(_, container)| {
                 let hva = container.address_space().mmap("ram", pages * PAGE).unwrap();
                 container
-                    .dma_map(hva, pages * PAGE, fastiov::hostmem::Iova(0), DmaZeroMode::Eager)
+                    .dma_map(
+                        hva,
+                        pages * PAGE,
+                        fastiov::hostmem::Iova(0),
+                        DmaZeroMode::Eager,
+                    )
                     .unwrap();
             },
             criterion::BatchSize::PerIteration,

@@ -16,7 +16,11 @@ fn build(hook: bool) -> Arc<Vm> {
     let clock = Clock::with_scale(1e-6);
     let mem = PhysMemory::new(MemCosts::for_tests(), PageSize::Size2M, PAGES as usize * 2);
     let aspace = AddressSpace::new(1, Arc::clone(&mem));
-    let vm = Vm::new(clock.clone(), Arc::clone(&aspace), Duration::from_micros(25));
+    let vm = Vm::new(
+        clock.clone(),
+        Arc::clone(&aspace),
+        Duration::from_micros(25),
+    );
     let hva = aspace.mmap("ram", PAGES * PAGE).unwrap();
     let ranges = aspace
         .populate_range(hva, PAGES * PAGE, Populate::AllocOnly)

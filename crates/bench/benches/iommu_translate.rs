@@ -2,7 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fastiov::hostmem::{Hpa, Iova, MemCosts, PageSize, PhysMemory};
-use fastiov::iommu::{Iommu, IoPageTable};
+use fastiov::iommu::{IoPageTable, Iommu};
 use fastiov::simtime::Clock;
 use std::time::Duration;
 

@@ -16,10 +16,14 @@ fn run(scrub: bool, opts: &HarnessOpts, conc: u32) -> (u64, u64, u64) {
     let (host, engine) = cfg.build().expect("build");
     let pods: Vec<_> = engine
         .launch_concurrent(conc)
+        .pods
         .into_iter()
         .collect::<Result<_, _>>()
         .expect("launch");
-    let handle = scrub.then(|| host.fastiovd.start_scrubber(std::time::Duration::from_millis(20), 1024));
+    let handle = scrub.then(|| {
+        host.fastiovd
+            .start_scrubber(std::time::Duration::from_millis(20), 1024)
+    });
 
     // Idle window: applications are "starting up" (image transfer etc.).
     host.clock.sleep(std::time::Duration::from_secs(10));
@@ -42,7 +46,11 @@ fn run(scrub: bool, opts: &HarnessOpts, conc: u32) -> (u64, u64, u64) {
     for pod in &pods {
         engine.teardown_pod(pod).expect("teardown");
     }
-    (stats.lazily_zeroed, stats.background_zeroed, stats.registered)
+    (
+        stats.lazily_zeroed,
+        stats.background_zeroed,
+        stats.registered,
+    )
 }
 
 fn main() {

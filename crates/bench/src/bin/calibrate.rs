@@ -87,7 +87,11 @@ fn main() {
     ]);
     println!("{}", t.render());
 
-    for (name, run) in [("no-net", &nonet), ("vanilla", &vanilla), ("fastiov", &fast)] {
+    for (name, run) in [
+        ("no-net", &nonet),
+        ("vanilla", &vanilla),
+        ("fastiov", &fast),
+    ] {
         println!("{name} stage means:");
         for (stage, mean) in &run.stage_means {
             if !mean.is_zero() {

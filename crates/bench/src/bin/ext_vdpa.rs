@@ -19,8 +19,7 @@ fn main() {
 
     let vanilla = run_startup_experiment(&opts.config(Baseline::Vanilla, conc)).expect("vanilla");
     let fast = run_startup_experiment(&opts.config(Baseline::FastIov, conc)).expect("fastiov");
-    let vdpa =
-        run_startup_experiment(&opts.config(Baseline::FastIovVdpa, conc)).expect("vdpa");
+    let vdpa = run_startup_experiment(&opts.config(Baseline::FastIovVdpa, conc)).expect("vdpa");
 
     let mut t = Table::new(vec![
         "baseline",

@@ -1,0 +1,143 @@
+//! Extension: warm microVM pool under sustained arrival load.
+//!
+//! FastIOV attacks the passthrough-specific startup costs; what remains
+//! is the boot itself. This harness quantifies how much of the remainder
+//! a warm pool removes: pre-launched, VF-attached microVMs are claimed on
+//! pod arrival and pay only per-pod identity work (netns, IP/MAC), with
+//! misses falling back to the cold FastIOV path.
+//!
+//! Unlike the paper's burst regime (§3.1), a pool's value shows under a
+//! *sustained* open-loop stream of Poisson arrivals, where the background
+//! replenisher races the arrival rate. Two operating points are shown:
+//! a calibrated rate the pool sustains (hit rate ≥ 90 %), and a
+//! deliberate overload demonstrating graceful degradation — misses take
+//! the cold path instead of failing.
+
+use fastiov::engine::SustainedConfig;
+use fastiov::experiment::summarize;
+use fastiov::pool::PoolStats;
+use fastiov::{Baseline, StartupRunResult, Table};
+use fastiov_bench::{banner, pct, s, HarnessOpts};
+use std::time::Duration;
+
+/// Warm-pool capacity for the pooled baseline.
+const POOL_CAPACITY: u16 = 24;
+/// Calibrated arrival rate (pods per simulated second) the pool sustains.
+const CALIBRATED_RATE: f64 = 2.0;
+/// Overload arrival rate — well past the replenisher's throughput.
+const OVERLOAD_RATE: f64 = 16.0;
+/// Simulated pod lifetime between startup and teardown.
+const HOLD: Duration = Duration::from_secs(2);
+
+/// Runs `total` pods as a sustained Poisson stream against `baseline`.
+fn sustained(
+    opts: &HarnessOpts,
+    baseline: Baseline,
+    total: u32,
+    rate_per_s: f64,
+) -> (StartupRunResult, Option<PoolStats>) {
+    let cfg = opts.config(baseline, total);
+    let (_host, engine) = cfg.build().expect("host build");
+    let outcome = engine.run_sustained(SustainedConfig {
+        total,
+        rate_per_s,
+        hold: HOLD,
+        seed: 11,
+    });
+    assert!(
+        outcome.summary.is_clean(),
+        "{baseline}: {}",
+        outcome.summary
+    );
+    let stats = engine.pool().map(|pool| {
+        pool.wait_idle();
+        pool.stats()
+    });
+    let run = summarize(baseline, outcome.reports).expect("summarize");
+    (run, stats)
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let total = opts.conc.unwrap_or(96);
+    let pool = Baseline::WarmPool(POOL_CAPACITY);
+
+    banner(&format!(
+        "extension — warm pool, sustained arrivals ({total} pods, \
+         {CALIBRATED_RATE}/s, hold {}s)",
+        HOLD.as_secs()
+    ));
+    let (vanilla, _) = sustained(&opts, Baseline::Vanilla, total, CALIBRATED_RATE);
+    let (cold, _) = sustained(&opts, Baseline::FastIov, total, CALIBRATED_RATE);
+    let (pooled, stats) = sustained(&opts, pool, total, CALIBRATED_RATE);
+    let stats = stats.expect("pooled baseline has a pool");
+
+    let mut t = Table::new(vec![
+        "baseline",
+        "avg (s)",
+        "p50 (s)",
+        "p99 (s)",
+        "hit rate (%)",
+        "reduction vs cold (%)",
+    ]);
+    for (run, hit) in [
+        (&vanilla, None),
+        (&cold, None),
+        (&pooled, Some(stats.hit_rate())),
+    ] {
+        t.row(vec![
+            run.baseline.label(),
+            s(run.total.mean),
+            s(run.total.p50),
+            s(run.total.p99),
+            hit.map(pct).unwrap_or_else(|| "-".into()),
+            pct(run.total.mean_reduction_vs(&cold.total)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "pool: {} hits / {} misses ({}% hit rate), {} provisioned, {} recycled",
+        stats.hits,
+        stats.misses,
+        pct(stats.hit_rate()),
+        stats.provisioned,
+        stats.recycled
+    );
+    assert!(
+        stats.hit_rate() >= 0.9,
+        "calibrated rate should sustain >=90% hit rate, got {}",
+        pct(stats.hit_rate())
+    );
+    assert!(
+        pooled.total.mean < cold.total.mean && pooled.total.p99 < cold.total.p99,
+        "pooled (avg {:?}, p99 {:?}) must beat cold FastIOV (avg {:?}, p99 {:?})",
+        pooled.total.mean,
+        pooled.total.p99,
+        cold.total.mean,
+        cold.total.p99
+    );
+
+    banner(&format!(
+        "overload — same pool at {OVERLOAD_RATE}/s arrivals"
+    ));
+    let (over, over_stats) = sustained(&opts, pool, total, OVERLOAD_RATE);
+    let over_stats = over_stats.expect("pooled baseline has a pool");
+    let mut t = Table::new(vec!["baseline", "avg (s)", "p99 (s)", "hit rate (%)"]);
+    t.row(vec![
+        format!("{} @{OVERLOAD_RATE}/s", over.baseline.label()),
+        s(over.total.mean),
+        s(over.total.p99),
+        pct(over_stats.hit_rate()),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "overload: {} hits / {} misses — every miss fell back to the cold",
+        over_stats.hits, over_stats.misses
+    );
+    println!("FastIOV path (no failures); startup degrades toward cold, not to errors.");
+    println!();
+    println!("observation: at a sustainable arrival rate the pool turns startup into");
+    println!("per-pod identity work (netns + IP/MAC reconfiguration), cutting both the");
+    println!("average and the tail below cold FastIOV; past the replenisher's");
+    println!("throughput it degrades gracefully to cold-path latency.");
+}

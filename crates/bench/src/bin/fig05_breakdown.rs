@@ -12,8 +12,7 @@ use fastiov_bench::{banner, pct, s, HarnessOpts};
 fn main() {
     let opts = HarnessOpts::from_args();
     let conc = opts.conc.unwrap_or(200);
-    let run =
-        run_startup_experiment(&opts.config(Baseline::Vanilla, conc)).expect("vanilla run");
+    let run = run_startup_experiment(&opts.config(Baseline::Vanilla, conc)).expect("vanilla run");
 
     banner("Fig. 5 — startup timeline (CSV: container,stage,start_s,end_s)");
     // Sort containers by completion order for the characteristic ramp.
@@ -78,7 +77,12 @@ fn main() {
     println!("legend: c=cgroup r=dma-ram f=virtiofs i=dma-image V=vfio-dev d=vf-driver\n");
 
     banner("Tab. 1 — time proportions of time-consuming steps");
-    let mut t = Table::new(vec!["step", "avg share (%)", "p99 share (%)", "paper avg/p99"]);
+    let mut t = Table::new(vec![
+        "step",
+        "avg share (%)",
+        "p99 share (%)",
+        "paper avg/p99",
+    ]);
     let paper = [
         (stages::CGROUP, "2.9 / 2.3"),
         (stages::DMA_RAM, "13.0 / 11.1"),

@@ -54,9 +54,7 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
-    println!(
-        "paper reductions vs vanilla: FastIOV 65.7, -L 21.8, -A 40.3, -S 58.2, -D 43.7 (%)"
-    );
+    println!("paper reductions vs vanilla: FastIOV 65.7, -L 21.8, -A 40.3, -S 58.2, -D 43.7 (%)");
     let fast = runs
         .iter()
         .find(|r| r.baseline == Baseline::FastIov)

@@ -14,7 +14,10 @@ use fastiov_bench::{banner, pct, s, HarnessOpts};
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let which: Vec<String> = std::env::args().skip(1).filter(|a| !a.starts_with("--")).collect();
+    let which: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
     let all = which.is_empty();
     let run_panel = |p: &str| all || which.iter().any(|w| w == p);
 

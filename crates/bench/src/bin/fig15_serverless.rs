@@ -25,10 +25,8 @@ fn main() {
     let mut reductions = Vec::new();
     for app in AppKind::ALL {
         eprintln!("running {} ...", app.name());
-        let van =
-            run_app_experiment(&opts.config(Baseline::Vanilla, conc), app).expect("vanilla");
-        let fast =
-            run_app_experiment(&opts.config(Baseline::FastIov, conc), app).expect("fastiov");
+        let van = run_app_experiment(&opts.config(Baseline::Vanilla, conc), app).expect("vanilla");
+        let fast = run_app_experiment(&opts.config(Baseline::FastIov, conc), app).expect("fastiov");
         // CDF rows for re-plotting.
         for (baseline, run) in [("Vanilla", &van), ("FastIOV", &fast)] {
             for (x, y) in cdf_points(&run.completions()) {

@@ -35,11 +35,7 @@ fn main() {
     }
 }
 
-fn pair(
-    van_cfg: &ExperimentConfig,
-    fast_cfg: &ExperimentConfig,
-    app: AppKind,
-) -> (f64, f64) {
+fn pair(van_cfg: &ExperimentConfig, fast_cfg: &ExperimentConfig, app: AppKind) -> (f64, f64) {
     let van = run_app_experiment(van_cfg, app).expect("vanilla app run");
     let fast = run_app_experiment(fast_cfg, app).expect("fastiov app run");
     (
@@ -51,7 +47,12 @@ fn pair(
 fn sweep_concurrency(opts: &HarnessOpts) {
     banner("Fig. 16 a–d — completion time vs concurrency");
     for app in AppKind::ALL {
-        let mut t = Table::new(vec!["concurrency", "vanilla (s)", "fastiov (s)", "R-ratio (%)"]);
+        let mut t = Table::new(vec![
+            "concurrency",
+            "vanilla (s)",
+            "fastiov (s)",
+            "R-ratio (%)",
+        ]);
         for conc in [10u32, 50, 100, 200] {
             let (v, f) = pair(
                 &opts.config(Baseline::Vanilla, conc),
@@ -73,7 +74,12 @@ fn sweep_concurrency(opts: &HarnessOpts) {
 fn sweep_memory(opts: &HarnessOpts) {
     banner("Fig. 16 e–h — completion time vs resource allocation (conc 50)");
     for app in AppKind::ALL {
-        let mut t = Table::new(vec!["resources", "vanilla (s)", "fastiov (s)", "R-ratio (%)"]);
+        let mut t = Table::new(vec![
+            "resources",
+            "vanilla (s)",
+            "fastiov (s)",
+            "R-ratio (%)",
+        ]);
         let mut fast_first = None;
         let mut fast_last = None;
         for (label, ram, vcpus) in [
@@ -103,7 +109,11 @@ fn sweep_memory(opts: &HarnessOpts) {
         if let (Some(f0), Some(f1)) = (fast_first, fast_last) {
             println!(
                 "FastIOV completion with 4x resources: {} (paper: flat or decreasing)\n",
-                if f1 <= f0 * 1.05 { "flat/decreasing" } else { "increasing" }
+                if f1 <= f0 * 1.05 {
+                    "flat/decreasing"
+                } else {
+                    "increasing"
+                }
             );
         }
     }

@@ -24,12 +24,7 @@ fn main() {
     let van = run_memperf(Baseline::Vanilla, &base, sweep, iterations, reads).expect("vanilla");
     let fast = run_memperf(Baseline::FastIov, &base, sweep, iterations, reads).expect("fastiov");
 
-    let mut t = Table::new(vec![
-        "metric",
-        "vanilla",
-        "fastiov",
-        "delta (%)",
-    ]);
+    let mut t = Table::new(vec!["metric", "vanilla", "fastiov", "delta (%)"]);
     let delta = |a: f64, b: f64| if a == 0.0 { 0.0 } else { b / a - 1.0 };
     t.row(vec![
         "cold sweep (ms)".to_string(),

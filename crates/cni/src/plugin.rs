@@ -367,7 +367,9 @@ mod tests {
         let spec = PodNetSpec { pid: 1, index: 0 };
         let nns = registry.create(1);
         let mut log = StageLog::begin(host.clock.clone());
-        let r = plugin.setup(&host, &spec, &nns, &registry, &mut log).unwrap();
+        let r = plugin
+            .setup(&host, &spec, &nns, &registry, &mut log)
+            .unwrap();
         match &r {
             CniResult::Passthrough {
                 vf,
@@ -401,7 +403,9 @@ mod tests {
         let spec = PodNetSpec { pid: 2, index: 1 };
         let nns = registry.create(2);
         let mut log = StageLog::begin(host.clock.clone());
-        let r = plugin.setup(&host, &spec, &nns, &registry, &mut log).unwrap();
+        let r = plugin
+            .setup(&host, &spec, &nns, &registry, &mut log)
+            .unwrap();
         match &r {
             CniResult::Passthrough {
                 vf,
@@ -425,7 +429,9 @@ mod tests {
         let spec = PodNetSpec { pid: 3, index: 7 };
         let nns = registry.create(3);
         let mut log = StageLog::begin(host.clock.clone());
-        let r = plugin.setup(&host, &spec, &nns, &registry, &mut log).unwrap();
+        let r = plugin
+            .setup(&host, &spec, &nns, &registry, &mut log)
+            .unwrap();
         match &r {
             CniResult::Software { netdev, .. } => {
                 assert_eq!(netdev.0, "ipvtap7");

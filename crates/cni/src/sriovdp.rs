@@ -210,8 +210,7 @@ mod tests {
             Duration::from_micros(10),
             Duration::from_millis(1),
         );
-        let pf = PfDriver::new(clock, bus, 3, 256, fastiov_nic::pf::PfCosts::for_tests())
-            .unwrap();
+        let pf = PfDriver::new(clock, bus, 3, 256, fastiov_nic::pf::PfCosts::for_tests()).unwrap();
         pf.create_vfs(vfs).unwrap();
         DevicePlugin::discover("intel.com/sriov_vf", &pf)
     }

@@ -41,6 +41,12 @@ pub enum Baseline {
     /// driver initialization entirely. Not a paper baseline; included to
     /// quantify the direction the paper sketches as future work.
     FastIovVdpa,
+    /// Extension: full FastIOV plus a warm microVM pool of the given
+    /// capacity. Pods claim pre-launched, VF-attached microVMs and pay
+    /// only per-pod identity work; misses fall back to the cold FastIOV
+    /// path. Not a paper baseline; quantifies how much startup latency
+    /// remains once even the boot is moved off the critical path.
+    WarmPool(u16),
 }
 
 impl Baseline {
@@ -64,7 +70,8 @@ impl Baseline {
             | Baseline::FastIovMinusA
             | Baseline::FastIovMinusS
             | Baseline::FastIovMinusD
-            | Baseline::FastIovVdpa => LockPolicy::Hierarchical,
+            | Baseline::FastIovVdpa
+            | Baseline::WarmPool(_) => LockPolicy::Hierarchical,
             _ => LockPolicy::Coarse,
         }
     }
@@ -81,7 +88,7 @@ impl Baseline {
     pub fn vm_options(self, ram_bytes: u64, image_bytes: u64) -> VmOptions {
         let mut opts = VmOptions::vanilla(ram_bytes, image_bytes);
         match self {
-            Baseline::FastIov => {
+            Baseline::FastIov | Baseline::WarmPool(_) => {
                 opts = VmOptions::fastiov(ram_bytes, image_bytes);
             }
             Baseline::FastIovMinusL => {
@@ -115,36 +122,73 @@ impl Baseline {
     /// Builds the pod networking (CNI plugin) for this baseline on `host`,
     /// pre-binding VFs where the fixed flow requires it.
     pub fn networking(self, host: &Arc<Host>) -> fastiov_microvm::Result<PodNetworking> {
+        Ok(self.networking_and_provider(host)?.0)
+    }
+
+    /// Like [`Baseline::networking`], but also returns the VF source the
+    /// plugin draws from (when there is one), so other consumers — the
+    /// warm pool — can share it and allocations stay globally consistent.
+    pub fn networking_and_provider(
+        self,
+        host: &Arc<Host>,
+    ) -> fastiov_microvm::Result<(PodNetworking, Option<Arc<dyn VfProvider>>)> {
         Ok(match self {
-            Baseline::NoNet => PodNetworking::None,
-            Baseline::Ipvtap => {
-                PodNetworking::Software(Arc::new(IpvtapCni::new(CniParams::paper())))
-            }
+            Baseline::NoNet => (PodNetworking::None, None),
+            Baseline::Ipvtap => (
+                PodNetworking::Software(Arc::new(IpvtapCni::new(CniParams::paper()))),
+                None,
+            ),
             Baseline::VanillaOriginal => {
                 // No pre-binding: the original plugin binds per launch.
                 let vfs = VfAllocator::new(host.pf.vf_count() as u16) as Arc<dyn VfProvider>;
-                PodNetworking::Sriov(Arc::new(SriovCniOriginal::new(vfs)))
+                (
+                    PodNetworking::Sriov(Arc::new(SriovCniOriginal::new(Arc::clone(&vfs)))),
+                    Some(vfs),
+                )
             }
             Baseline::Vanilla | Baseline::Prezero(_) => {
                 host.prebind_all_vfs()?;
                 // VFs flow through the sriovdp device plugin, as deployed.
                 let vfs =
                     DevicePlugin::discover("intel.com/sriov_vf", &host.pf) as Arc<dyn VfProvider>;
-                PodNetworking::Sriov(Arc::new(SriovCniFixed::new(vfs)) as Arc<dyn CniPlugin>)
+                (
+                    PodNetworking::Sriov(
+                        Arc::new(SriovCniFixed::new(Arc::clone(&vfs))) as Arc<dyn CniPlugin>
+                    ),
+                    Some(vfs),
+                )
             }
             Baseline::FastIovVdpa => {
                 host.prebind_all_vfs()?;
                 let vfs =
                     DevicePlugin::discover("intel.com/sriov_vf", &host.pf) as Arc<dyn VfProvider>;
-                PodNetworking::Vdpa(Arc::new(FastIovCni::new(vfs)) as Arc<dyn CniPlugin>)
+                (
+                    PodNetworking::Vdpa(
+                        Arc::new(FastIovCni::new(Arc::clone(&vfs))) as Arc<dyn CniPlugin>
+                    ),
+                    Some(vfs),
+                )
             }
             _ => {
                 host.prebind_all_vfs()?;
                 let vfs =
                     DevicePlugin::discover("intel.com/sriov_vf", &host.pf) as Arc<dyn VfProvider>;
-                PodNetworking::Sriov(Arc::new(FastIovCni::new(vfs)) as Arc<dyn CniPlugin>)
+                (
+                    PodNetworking::Sriov(
+                        Arc::new(FastIovCni::new(Arc::clone(&vfs))) as Arc<dyn CniPlugin>
+                    ),
+                    Some(vfs),
+                )
             }
         })
+    }
+
+    /// Warm-pool capacity when this baseline runs one.
+    pub fn pool_capacity(self) -> Option<usize> {
+        match self {
+            Baseline::WarmPool(n) => Some(n as usize),
+            _ => None,
+        }
     }
 
     /// Short label used in tables (matches the paper's figure legends).
@@ -161,6 +205,7 @@ impl Baseline {
             Baseline::Prezero(p) => format!("Pre{p}"),
             Baseline::Ipvtap => "IPvtap".into(),
             Baseline::FastIovVdpa => "FastIOV+vDPA".into(),
+            Baseline::WarmPool(n) => format!("FastIOV+Pool{n}"),
         }
     }
 }

@@ -6,6 +6,7 @@
 //!                    [--ram-mb 512] [--image-mb 256]
 //! fastiovctl compare --conc 200            # no-net vs vanilla vs fastiov
 //! fastiovctl app --app image --baseline vanilla --conc 50
+//! fastiovctl pool --capacity 16 --pods 32 [--rate 20] [--scale 0.002]
 //! fastiovctl memperf
 //! ```
 
@@ -52,7 +53,12 @@ fn baseline_from(name: &str) -> Option<Baseline> {
         "pre100" => Baseline::Prezero(100),
         "ipvtap" => Baseline::Ipvtap,
         "fastiov-vdpa" | "vdpa" => Baseline::FastIovVdpa,
-        _ => return None,
+        name => {
+            if let Some(n) = name.strip_prefix("pool") {
+                return n.parse().ok().map(Baseline::WarmPool);
+            }
+            return None;
+        }
     })
 }
 
@@ -132,7 +138,8 @@ fn usage() -> ExitCode {
         "usage:\n  fastiovctl baselines\n  fastiovctl startup --baseline <name> [--conc N] \
          [--scale F] [--ram-mb M] [--image-mb M] [--cdf]\n  fastiovctl compare [--conc N] \
          [--scale F]\n  fastiovctl app --app <image|compression|scientific|inference> \
-         --baseline <name> [--conc N]\n  fastiovctl memperf [--scale F]"
+         --baseline <name> [--conc N]\n  fastiovctl pool [--capacity N] [--pods N] \
+         [--rate F] [--hold-ms M] [--scale F]\n  fastiovctl memperf [--scale F]"
     );
     ExitCode::FAILURE
 }
@@ -160,6 +167,7 @@ fn main() -> ExitCode {
                 ("pre100", Baseline::Prezero(100)),
                 ("ipvtap", Baseline::Ipvtap),
                 ("fastiov-vdpa", Baseline::FastIovVdpa),
+                ("pool16", Baseline::WarmPool(16)),
             ] {
                 t.row(vec![name.to_string(), b.label()]);
             }
@@ -206,6 +214,76 @@ fn main() -> ExitCode {
                 run.completion.mean_secs(),
                 run.completion.p99_secs(),
             );
+            ExitCode::SUCCESS
+        }
+        "pool" => {
+            let capacity: u16 = flags
+                .get("capacity")
+                .map(|v| v.parse().expect("--capacity takes an integer"))
+                .unwrap_or(16);
+            let pods: u32 = flags
+                .get("pods")
+                .map(|v| v.parse().expect("--pods takes an integer"))
+                .unwrap_or(2 * u32::from(capacity));
+            let rate: f64 = flags
+                .get("rate")
+                .map(|v| v.parse().expect("--rate takes a float"))
+                .unwrap_or(20.0);
+            let hold_ms: u64 = flags
+                .get("hold-ms")
+                .map(|v| v.parse().expect("--hold-ms takes an integer"))
+                .unwrap_or(500);
+            let mut cfg = config(&flags, Baseline::WarmPool(capacity));
+            if !flags.contains_key("scale") {
+                // Sustained runs sleep through pod lifetimes too; default
+                // to a finer scale than burst measurements.
+                cfg.host = fastiov::microvm::HostParams::paper_scaled(0.002);
+            }
+            let (_host, engine) = cfg.build().expect("build");
+            let pool = std::sync::Arc::clone(engine.pool().expect("pool"));
+            let outcome = engine.run_sustained(fastiov::engine::SustainedConfig {
+                total: pods,
+                rate_per_s: rate,
+                hold: std::time::Duration::from_millis(hold_ms),
+                seed: 7,
+            });
+            pool.wait_idle();
+            let s = pool.stats();
+            let mut t = Table::new(vec!["metric", "value"]);
+            t.row(vec!["capacity".to_string(), s.capacity.to_string()]);
+            t.row(vec!["parked now".to_string(), s.size.to_string()]);
+            t.row(vec!["claims (hit)".to_string(), s.hits.to_string()]);
+            t.row(vec!["claims (miss)".to_string(), s.misses.to_string()]);
+            t.row(vec![
+                "hit rate".to_string(),
+                format!("{:.1}%", 100.0 * s.hit_rate()),
+            ]);
+            t.row(vec!["provisioned".to_string(), s.provisioned.to_string()]);
+            t.row(vec!["recycled".to_string(), s.recycled.to_string()]);
+            t.row(vec![
+                "provision failures".to_string(),
+                s.provision_failures.to_string(),
+            ]);
+            t.row(vec!["replenish backlog".to_string(), s.backlog.to_string()]);
+            t.row(vec![
+                "pods run".to_string(),
+                outcome.summary.total().to_string(),
+            ]);
+            t.row(vec![
+                "launch summary".to_string(),
+                outcome.summary.to_string(),
+            ]);
+            if let Ok(sum) = fastiov::experiment::summarize(cfg.baseline, outcome.reports) {
+                t.row(vec![
+                    "startup avg (s)".to_string(),
+                    format!("{:.3}", sum.total.mean_secs()),
+                ]);
+                t.row(vec![
+                    "startup p99 (s)".to_string(),
+                    format!("{:.3}", sum.total.p99_secs()),
+                ]);
+            }
+            println!("{}", t.render());
             ExitCode::SUCCESS
         }
         "memperf" => {

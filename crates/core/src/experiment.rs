@@ -6,6 +6,7 @@ use fastiov_apps::{run_serverless_task, AppKind, StorageServer, TaskResult};
 use fastiov_engine::{Engine, EngineParams, StartupReport, Summary};
 use fastiov_hostmem::addr::units::mib;
 use fastiov_microvm::{stages, Host, HostParams};
+use fastiov_pool::{PoolParams, WarmPool};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -67,19 +68,39 @@ impl ExperimentConfig {
         }
     }
 
-    /// Builds the host + engine pair for this configuration.
+    /// Builds the host + engine pair for this configuration. For
+    /// [`Baseline::WarmPool`], also constructs the warm pool — sharing
+    /// the CNI plugin's VF provider — and prefills it before any pod
+    /// arrives.
     pub fn build(&self) -> Result<(Arc<Host>, Arc<Engine>)> {
-        let host = Host::new(self.host.clone(), self.baseline.lock_policy()).map_err(Error::Host)?;
+        let host =
+            Host::new(self.host.clone(), self.baseline.lock_policy()).map_err(Error::Host)?;
         let frac = self.baseline.prezero_fraction();
         if frac > 0.0 {
             host.mem.prezero_pass(frac);
         }
-        let networking = self.baseline.networking(&host).map_err(Error::Host)?;
-        let engine = Engine::new(
+        let (networking, provider) = self
+            .baseline
+            .networking_and_provider(&host)
+            .map_err(Error::Host)?;
+        let pool = match (self.baseline.pool_capacity(), provider) {
+            (Some(capacity), Some(vfs)) => {
+                let pool = WarmPool::new(
+                    Arc::clone(&host),
+                    vfs,
+                    PoolParams::new(capacity, self.ram_bytes, self.image_bytes),
+                );
+                pool.prefill();
+                Some(pool)
+            }
+            _ => None,
+        };
+        let engine = Engine::with_pool(
             Arc::clone(&host),
             self.engine,
             networking,
             self.baseline.vm_options(self.ram_bytes, self.image_bytes),
+            pool,
         );
         Ok((host, engine))
     }
@@ -221,11 +242,7 @@ pub fn run_app_experiment(cfg: &ExperimentConfig, app: AppKind) -> Result<AppRun
         .collect();
     let mut tasks = Vec::with_capacity(cfg.concurrency as usize);
     for h in handles {
-        tasks.push(
-            h.join()
-                .map_err(|_| Error::Empty)?
-                .map_err(Error::App)?,
-        );
+        tasks.push(h.join().map_err(|_| Error::Empty)?.map_err(Error::App)?);
     }
     if tasks.is_empty() {
         return Err(Error::Empty);
@@ -256,6 +273,34 @@ mod tests {
             assert_eq!(run.reports.len(), 3, "{b}");
             assert!(run.total.mean > Duration::ZERO, "{b}");
         }
+    }
+
+    #[test]
+    fn warm_pool_baseline_prefills_and_serves_warm() {
+        let cfg = ExperimentConfig::smoke(Baseline::WarmPool(4), 4);
+        let (_host, engine) = cfg.build().unwrap();
+        let pool = Arc::clone(engine.pool().expect("pool configured"));
+        assert_eq!(pool.stats().size, 4);
+        let reports = engine.measure_startup(4);
+        assert!(reports.iter().all(|r| r.is_ok()));
+        pool.wait_idle();
+        let s = pool.stats();
+        assert_eq!(s.hits, 4);
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.recycled, 4);
+    }
+
+    #[test]
+    fn warm_pool_beats_plain_fastiov_in_smoke() {
+        let fast = run_startup_experiment(&ExperimentConfig::smoke(Baseline::FastIov, 4)).unwrap();
+        let pooled =
+            run_startup_experiment(&ExperimentConfig::smoke(Baseline::WarmPool(4), 4)).unwrap();
+        assert!(
+            pooled.total.mean < fast.total.mean,
+            "pooled {:?} vs fastiov {:?}",
+            pooled.total.mean,
+            fast.total.mean
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub use fastiov_kvm as kvm;
 pub use fastiov_microvm as microvm;
 pub use fastiov_nic as nic;
 pub use fastiov_pci as pci;
+pub use fastiov_pool as pool;
 pub use fastiov_simtime as simtime;
 pub use fastiov_vfio as vfio;
 pub use fastiov_virtio as virtio;

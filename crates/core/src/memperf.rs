@@ -108,8 +108,7 @@ pub fn run_memperf(
             .map_err(|e| Error::Host(e.into()))?;
     }
     let read_faults = vm.stats().ept_faults - before;
-    let random_reads =
-        dram_latency * reads + host.params.ept_fault * read_faults as u32;
+    let random_reads = dram_latency * reads + host.params.ept_fault * read_faults as u32;
 
     let result = MemPerfResult {
         baseline,

@@ -3,10 +3,10 @@
 use crate::cgroup::CgroupManager;
 use crate::{EngineError, Result};
 use fastiov_cni::{CniPlugin, CniResult, NnsRegistry, PodNetSpec, RtnlLock};
-use fastiov_microvm::{
-    stages, Host, Microvm, MicrovmConfig, NetworkAttachment, ZeroingMode,
-};
+use fastiov_microvm::{stages, Host, Microvm, MicrovmConfig, NetworkAttachment, ZeroingMode};
+use fastiov_pool::{WarmPool, WarmVm};
 use fastiov_simtime::{SimInstant, StageLog, StageRecord};
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -149,8 +149,79 @@ pub struct PodHandle {
     pub vm: Arc<Microvm>,
     /// What the CNI set up (None for no-network pods).
     pub cni: Option<CniResult>,
+    /// Set when the microVM came from the warm pool: its pool-range
+    /// hypervisor PID. Teardown returns such a VM to the pool for
+    /// recycling instead of shutting it down.
+    pub pool_pid: Option<u64>,
     /// The startup measurement.
     pub report: StartupReport,
+}
+
+/// Aggregate outcome of one concurrent launch wave: what succeeded, what
+/// failed, and the first error of each failure class. Replaces eyeballing
+/// a bare `Vec<Result<...>>`.
+#[derive(Debug, Clone, Default)]
+pub struct LaunchSummary {
+    /// Pods that started.
+    pub succeeded: usize,
+    /// Pods that failed to start.
+    pub failed: usize,
+    /// First error detail per failure class, in first-seen order.
+    pub first_errors: Vec<(&'static str, String)>,
+}
+
+impl LaunchSummary {
+    /// Classifies a wave of per-pod results.
+    pub fn from_results<T>(results: &[Result<T>]) -> Self {
+        let mut summary = LaunchSummary::default();
+        for r in results {
+            match r {
+                Ok(_) => summary.succeeded += 1,
+                Err(e) => {
+                    summary.failed += 1;
+                    let class = match e {
+                        EngineError::Cni(_) => "cni",
+                        EngineError::Vmm(_) => "vmm",
+                        EngineError::InterfaceMissing(_) => "interface-missing",
+                        EngineError::LaunchPanic => "launch-panic",
+                    };
+                    if !summary.first_errors.iter().any(|(c, _)| *c == class) {
+                        summary.first_errors.push((class, e.to_string()));
+                    }
+                }
+            }
+        }
+        summary
+    }
+
+    /// Pods attempted.
+    pub fn total(&self) -> usize {
+        self.succeeded + self.failed
+    }
+
+    /// True when every pod started.
+    pub fn is_clean(&self) -> bool {
+        self.failed == 0
+    }
+}
+
+impl fmt::Display for LaunchSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} pods started", self.succeeded, self.total())?;
+        for (class, detail) in &self.first_errors {
+            write!(f, "; first {class} error: {detail}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A concurrent launch wave: per-pod results in index order, plus the
+/// classification summary.
+pub struct LaunchOutcome {
+    /// One entry per requested pod, index order.
+    pub pods: Vec<Result<PodHandle>>,
+    /// Succeeded/failed counts and first error per class.
+    pub summary: LaunchSummary,
 }
 
 /// The container engine for one experiment run.
@@ -161,6 +232,7 @@ pub struct Engine {
     nns: Arc<NnsRegistry>,
     networking: PodNetworking,
     vm_options: VmOptions,
+    pool: Option<Arc<WarmPool>>,
 }
 
 impl Engine {
@@ -173,7 +245,22 @@ impl Engine {
         networking: PodNetworking,
         vm_options: VmOptions,
     ) -> Arc<Self> {
-        let cgroups = CgroupManager::new(host.clock.clone(), params.cgroup_base, params.cgroup_hold);
+        Self::with_pool(host, params, networking, vm_options, None)
+    }
+
+    /// Like [`Engine::new`] but with a warm microVM pool: `run_pod` first
+    /// tries to claim a pre-launched VM and only falls back to the cold
+    /// path when the pool is empty (admission control), and
+    /// `teardown_pod` returns pooled VMs for recycling.
+    pub fn with_pool(
+        host: Arc<Host>,
+        params: EngineParams,
+        networking: PodNetworking,
+        vm_options: VmOptions,
+        pool: Option<Arc<WarmPool>>,
+    ) -> Arc<Self> {
+        let cgroups =
+            CgroupManager::new(host.clock.clone(), params.cgroup_base, params.cgroup_hold);
         let rtnl = RtnlLock::new(host.clock.clone());
         let nns = NnsRegistry::new(
             host.clock.clone(),
@@ -189,6 +276,7 @@ impl Engine {
             nns,
             networking,
             vm_options,
+            pool,
         })
     }
 
@@ -202,8 +290,93 @@ impl Engine {
         &self.nns
     }
 
-    /// Starts one pod end to end (Fig. 4) and returns its handle.
+    /// The warm pool, when configured.
+    pub fn pool(&self) -> Option<&Arc<WarmPool>> {
+        self.pool.as_ref()
+    }
+
+    /// Engine cost parameters.
+    pub fn params(&self) -> &EngineParams {
+        &self.params
+    }
+
+    /// Starts one pod end to end (Fig. 4) and returns its handle. With a
+    /// warm pool configured, claims a pre-launched microVM when one is
+    /// available and pays only per-pod identity work.
     pub fn run_pod(&self, index: u32) -> Result<PodHandle> {
+        if let Some(pool) = &self.pool {
+            if let Some(warm) = pool.claim() {
+                return self.run_pod_warm(index, warm);
+            }
+            // Pool exhausted: degrade gracefully to the cold path.
+        }
+        self.run_pod_cold(index)
+    }
+
+    /// The warm fast path: no DMA mapping, no VFIO open, no boot — the
+    /// pooled microVM did all that off the critical path. What remains is
+    /// per-pod identity: cgroup, namespace, interface move, IP, MAC/VLAN.
+    fn run_pod_warm(&self, index: u32, warm: WarmVm) -> Result<PodHandle> {
+        let pid = 1000 + index as u64;
+        let mut log = StageLog::begin(self.host.clock.clone());
+        let started = log.started();
+
+        log.stage(stages::CGROUP, || self.cgroups.create(pid));
+        let nns = self.nns.create(pid);
+        let spec = PodNetSpec { pid, index };
+        let ip = spec.ip();
+
+        let claimed = log.stage(stages::WARM_CLAIM, || -> Result<()> {
+            self.nns.move_into(&nns, warm.netdev.clone());
+            self.nns.configure_ip(&nns, ip);
+            // Rewrite the VF's MAC/VLAN for the new tenant through the PF.
+            warm.vm
+                .reconfigure_identity(index)
+                .map_err(EngineError::Vmm)?;
+            Ok(())
+        });
+        let claimed = claimed.and_then(|()| {
+            if nns.has_interface(&warm.netdev) {
+                Ok(())
+            } else {
+                Err(EngineError::InterfaceMissing(warm.netdev.0.clone()))
+            }
+        });
+        if let Err(e) = claimed {
+            // Claim failed: unwind the pod scaffolding and hand the VM
+            // back for recycling rather than leaking it.
+            let _ = self.nns.destroy(pid);
+            self.cgroups.remove(pid);
+            if let Some(pool) = &self.pool {
+                pool.recycle(warm);
+            }
+            return Err(e);
+        }
+
+        self.host.clock.sleep(self.params.sandbox_overhead);
+
+        let total = log.elapsed();
+        Ok(PodHandle {
+            index,
+            cni: Some(CniResult::Passthrough {
+                vf: warm.vf,
+                netdev: warm.netdev.clone(),
+                needs_host_rebind: false,
+                ip,
+            }),
+            pool_pid: Some(warm.pool_pid),
+            vm: warm.vm,
+            report: StartupReport {
+                index,
+                started,
+                total,
+                records: log.records().to_vec(),
+            },
+        })
+    }
+
+    /// The cold path: full Fig. 4 launch sequence.
+    fn run_pod_cold(&self, index: u32) -> Result<PodHandle> {
         let pid = 1000 + index as u64;
         let mut log = StageLog::begin(self.host.clock.clone());
         let started = log.started();
@@ -256,7 +429,13 @@ impl Engine {
                         .pf
                         .bind_vfio(*vf)
                         .map_err(|e| EngineError::Cni(e.into()))?;
-                    let pci = Arc::clone(self.host.pf.vf(*vf).map_err(|e| EngineError::Cni(e.into()))?.pci());
+                    let pci = Arc::clone(
+                        self.host
+                            .pf
+                            .vf(*vf)
+                            .map_err(|e| EngineError::Cni(e.into()))?
+                            .pci(),
+                    );
                     self.host
                         .vfio
                         .register(pci)
@@ -292,8 +471,7 @@ impl Engine {
                 // Unwind everything the partial launch may have grabbed so
                 // the host stays reusable: frames, lazy-zero entries, the
                 // DMA attachment, and the group ownership.
-                if let NetworkAttachment::Passthrough(vf) | NetworkAttachment::Vdpa(vf) =
-                    attachment
+                if let NetworkAttachment::Passthrough(vf) | NetworkAttachment::Vdpa(vf) = attachment
                 {
                     self.host.dma.detach_vf(vf);
                     if let Ok(vf_ref) = self.host.pf.vf(vf) {
@@ -304,9 +482,12 @@ impl Engine {
                 }
                 self.host.fastiovd.unregister_vm(pid);
                 self.host.mem.release_owner(pid);
-                if let (Some(result), PodNetworking::Sriov(plugin)
-                | PodNetworking::Software(plugin)
-                | PodNetworking::Vdpa(plugin)) = (&cni_result, &self.networking)
+                if let (
+                    Some(result),
+                    PodNetworking::Sriov(plugin)
+                    | PodNetworking::Software(plugin)
+                    | PodNetworking::Vdpa(plugin),
+                ) = (&cni_result, &self.networking)
                 {
                     let _ = plugin.teardown(&self.host, result);
                 }
@@ -324,6 +505,7 @@ impl Engine {
             index,
             vm,
             cni: cni_result,
+            pool_pid: None,
             report: StartupReport {
                 index,
                 started,
@@ -333,8 +515,24 @@ impl Engine {
         })
     }
 
-    /// Tears a pod down, releasing the VF and guest memory.
+    /// Tears a pod down. Cold-launched pods release their VF and guest
+    /// memory; pool-claimed pods hand the microVM back to the pool, which
+    /// wipes and re-parks it on the replenisher thread.
     pub fn teardown_pod(&self, pod: &PodHandle) -> Result<()> {
+        if let (Some(pool_pid), Some(pool)) = (pod.pool_pid, &self.pool) {
+            if let Some(CniResult::Passthrough { vf, netdev, .. }) = &pod.cni {
+                let pid = 1000 + pod.index as u64;
+                self.nns.destroy(pid).map_err(EngineError::Cni)?;
+                self.cgroups.remove(pid);
+                pool.recycle(WarmVm {
+                    vm: Arc::clone(&pod.vm),
+                    vf: *vf,
+                    netdev: netdev.clone(),
+                    pool_pid,
+                });
+                return Ok(());
+            }
+        }
         pod.vm.shutdown()?;
         if let (
             Some(result),
@@ -354,32 +552,33 @@ impl Engine {
     }
 
     /// `crictl`-style concurrent startup of `n` pods, one thread each
-    /// (§3.1). Returns per-pod results in index order.
-    pub fn launch_concurrent(self: &Arc<Self>, n: u32) -> Vec<Result<PodHandle>> {
+    /// (§3.1). Returns per-pod results in index order, classified in a
+    /// [`LaunchSummary`].
+    pub fn launch_concurrent(self: &Arc<Self>, n: u32) -> LaunchOutcome {
         let spread = self.params.launch_spread;
         let handles: Vec<_> = (0..n)
             .map(|i| {
                 let engine = Arc::clone(self);
                 std::thread::spawn(move || {
-                    engine
-                        .host
-                        .clock
-                        .sleep(Duration::from_secs_f64(
-                            spread.as_secs_f64() * f64::from(i) / f64::from(n.max(1)),
-                        ));
+                    engine.host.clock.sleep(Duration::from_secs_f64(
+                        spread.as_secs_f64() * f64::from(i) / f64::from(n.max(1)),
+                    ));
                     engine.run_pod(i)
                 })
             })
             .collect();
-        handles
+        let pods: Vec<Result<PodHandle>> = handles
             .into_iter()
             .map(|h| h.join().unwrap_or(Err(EngineError::LaunchPanic)))
-            .collect()
+            .collect();
+        let summary = LaunchSummary::from_results(&pods);
+        LaunchOutcome { pods, summary }
     }
 
     /// Convenience: launch `n` pods, tear them down, return the reports.
     pub fn measure_startup(self: &Arc<Self>, n: u32) -> Vec<Result<StartupReport>> {
         self.launch_concurrent(n)
+            .pods
             .into_iter()
             .map(|r| {
                 r.map(|pod| {
@@ -519,6 +718,119 @@ mod tests {
         assert_eq!(stats.host_binds, 1);
         assert_eq!(stats.vfio_binds, 1);
         engine.teardown_pod(&pod).unwrap();
+    }
+
+    fn pooled_engine(host: &Arc<Host>, capacity: usize) -> Arc<Engine> {
+        host.prebind_all_vfs().unwrap();
+        let vfs = VfAllocator::new(host.pf.vf_count() as u16);
+        let pool = fastiov_pool::WarmPool::new(
+            Arc::clone(host),
+            Arc::clone(&vfs) as Arc<dyn fastiov_cni::VfProvider>,
+            fastiov_pool::PoolParams::new(capacity, mib(64), mib(32)),
+        );
+        pool.prefill();
+        Engine::with_pool(
+            Arc::clone(host),
+            EngineParams::paper(),
+            PodNetworking::Sriov(Arc::new(FastIovCni::new(vfs))),
+            VmOptions::fastiov(mib(64), mib(32)),
+            Some(pool),
+        )
+    }
+
+    #[test]
+    fn warm_claim_skips_launch_stages_and_recycles_on_teardown() {
+        let host = host(LockPolicy::Hierarchical);
+        let engine = pooled_engine(&host, 2);
+        let pool = Arc::clone(engine.pool().unwrap());
+        let pod = engine.run_pod(0).unwrap();
+        assert!(pod.pool_pid.is_some());
+        // No launch-path stages: the pooled VM was already booted.
+        for s in [stages::DMA_RAM, stages::VFIO_DEV, stages::VF_DRIVER] {
+            assert_eq!(pod.report.stage_total(s), Duration::ZERO, "stage {s}");
+        }
+        assert!(pod.report.stage_total(stages::WARM_CLAIM) > Duration::ZERO);
+        pod.vm.wait_net_ready().unwrap();
+        engine.teardown_pod(&pod).unwrap();
+        assert!(engine.nns().is_empty());
+        pool.wait_idle();
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.recycled, 1);
+        assert_eq!(s.size, 2);
+    }
+
+    #[test]
+    fn warm_claim_is_much_faster_than_cold_launch() {
+        let warm_host = host(LockPolicy::Hierarchical);
+        let engine = pooled_engine(&warm_host, 2);
+        let warm = engine.run_pod(0).unwrap();
+        // A pool-less engine on an identical second host.
+        let cold_host = host(LockPolicy::Hierarchical);
+        let cold_engine = sriov_engine(&cold_host, true);
+        let cold = cold_engine.run_pod(1).unwrap();
+        assert!(
+            warm.report.total * 2 < cold.report.total,
+            "warm {:?} vs cold {:?}",
+            warm.report.total,
+            cold.report.total
+        );
+        engine.teardown_pod(&warm).unwrap();
+        cold_engine.teardown_pod(&cold).unwrap();
+    }
+
+    #[test]
+    fn pool_exhaustion_falls_back_to_cold_path() {
+        let host = host(LockPolicy::Hierarchical);
+        let engine = pooled_engine(&host, 1);
+        let a = engine.run_pod(0).unwrap();
+        let b = engine.run_pod(1).unwrap();
+        assert!(a.pool_pid.is_some());
+        // Second pod found the pool empty and cold-launched successfully.
+        assert!(b.pool_pid.is_none());
+        assert!(b.report.stage_total(stages::DMA_RAM) > Duration::ZERO);
+        let s = engine.pool().unwrap().stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        engine.teardown_pod(&a).unwrap();
+        engine.teardown_pod(&b).unwrap();
+        engine.pool().unwrap().wait_idle();
+    }
+
+    #[test]
+    fn launch_summary_classifies_results() {
+        let results: Vec<Result<()>> = vec![
+            Ok(()),
+            Err(EngineError::LaunchPanic),
+            Ok(()),
+            Err(EngineError::InterfaceMissing("eth9".into())),
+            Err(EngineError::LaunchPanic),
+        ];
+        let s = LaunchSummary::from_results(&results);
+        assert_eq!(s.succeeded, 2);
+        assert_eq!(s.failed, 3);
+        assert_eq!(s.total(), 5);
+        assert!(!s.is_clean());
+        // One entry per class, first-seen order.
+        assert_eq!(s.first_errors.len(), 2);
+        assert_eq!(s.first_errors[0].0, "launch-panic");
+        assert_eq!(s.first_errors[1].0, "interface-missing");
+        let text = s.to_string();
+        assert!(text.contains("2/5"), "{text}");
+        assert!(text.contains("eth9"), "{text}");
+    }
+
+    #[test]
+    fn launch_outcome_summary_matches_pods() {
+        let host = host(LockPolicy::Hierarchical);
+        let engine = sriov_engine(&host, true);
+        let outcome = engine.launch_concurrent(4);
+        assert_eq!(outcome.pods.len(), 4);
+        assert!(outcome.summary.is_clean());
+        assert_eq!(outcome.summary.succeeded, 4);
+        for pod in outcome.pods.into_iter().flatten() {
+            engine.teardown_pod(&pod).unwrap();
+        }
     }
 
     #[test]

@@ -13,12 +13,15 @@
 pub mod cgroup;
 pub mod engine;
 pub mod stats;
+pub mod sustain;
 
 pub use cgroup::CgroupManager;
 pub use engine::{
-    Engine, EngineParams, PodHandle, PodNetworking, StartupReport, VmOptions,
+    Engine, EngineParams, LaunchOutcome, LaunchSummary, PodHandle, PodNetworking, StartupReport,
+    VmOptions,
 };
 pub use stats::{cdf_points, Summary};
+pub use sustain::{SustainedConfig, SustainedOutcome};
 
 use fastiov_cni::CniError;
 use fastiov_microvm::VmmError;

@@ -151,8 +151,7 @@ impl Fastiovd {
     /// VMs, oldest registration first within each VM. Returns pages
     /// zeroed.
     pub fn scrub_once(&self, batch: usize) -> usize {
-        let tables: Vec<Arc<Mutex<VmTable>>> =
-            self.outer.lock().values().cloned().collect();
+        let tables: Vec<Arc<Mutex<VmTable>>> = self.outer.lock().values().cloned().collect();
         let mut done = 0;
         for table in tables {
             if done >= batch {

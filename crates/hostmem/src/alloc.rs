@@ -216,7 +216,8 @@ impl PhysMemory {
         }
         // Charge retrieval per batch outside the free-list lock: the walk
         // itself is concurrent in the kernel; only the list pop is locked.
-        self.batches.fetch_add(ranges.len() as u64, Ordering::Relaxed);
+        self.batches
+            .fetch_add(ranges.len() as u64, Ordering::Relaxed);
         self.allocations.fetch_add(1, Ordering::Relaxed);
         self.costs
             .cpu
@@ -346,7 +347,12 @@ impl PhysMemory {
 
     /// Pin count of a frame (test/diagnostic).
     pub fn pin_count(&self, id: FrameId) -> Result<u32> {
-        Ok(self.frames.get(id.0).ok_or(MemError::BadFrame(id.0))?.lock().pins)
+        Ok(self
+            .frames
+            .get(id.0)
+            .ok_or(MemError::BadFrame(id.0))?
+            .lock()
+            .pins)
     }
 
     /// Owner of a frame (test/diagnostic).
@@ -404,13 +410,7 @@ impl PhysMemory {
             }
             let off = addr % page;
             let chunk = (page - off).min(len - cursor);
-            f(
-                frame,
-                off,
-                cursor as usize,
-                (cursor + chunk) as usize,
-                self,
-            )?;
+            f(frame, off, cursor as usize, (cursor + chunk) as usize, self)?;
             cursor += chunk;
         }
         Ok(())
@@ -633,10 +633,7 @@ mod tests {
     fn unpin_underflow_detected() {
         let m = mem(8);
         let r = m.alloc_frames(1, 1).unwrap();
-        assert!(matches!(
-            m.unpin_ranges(&r),
-            Err(MemError::PinUnderflow(_))
-        ));
+        assert!(matches!(m.unpin_ranges(&r), Err(MemError::PinUnderflow(_))));
     }
 
     #[test]

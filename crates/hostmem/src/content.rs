@@ -202,8 +202,7 @@ impl PageContent {
             let merged_start = k.min(new_off);
             let merged_end = vend.max(new_off + new_data.len() as u64);
             let mut merged = vec![0u8; (merged_end - merged_start) as usize];
-            merged[(k - merged_start) as usize..(vend - merged_start) as usize]
-                .copy_from_slice(&v);
+            merged[(k - merged_start) as usize..(vend - merged_start) as usize].copy_from_slice(&v);
             // New data wins on overlap, so copy it second.
             let ns = (new_off - merged_start) as usize;
             merged[ns..ns + new_data.len()].copy_from_slice(&new_data);

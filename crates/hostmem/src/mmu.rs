@@ -151,9 +151,7 @@ impl AddressSpace {
         let region = find_region(&inner.regions, hva, 1)?;
         let idx = ((hva.raw() - region.base.raw()) / page) as usize;
         match region.pages[idx] {
-            Some(frame) => Ok(Hpa(
-                self.mem.hpa_of(frame).raw() + hva.page_offset(page)
-            )),
+            Some(frame) => Ok(Hpa(self.mem.hpa_of(frame).raw() + hva.page_offset(page))),
             None => Err(MemError::NotMapped(hva.raw())),
         }
     }
@@ -292,7 +290,9 @@ mod tests {
     fn populate_zero_makes_pages_readable_zero() {
         let (_, aspace) = setup();
         let base = aspace.mmap("ram", 4 * PAGE).unwrap();
-        let ranges = aspace.populate_range(base, 4 * PAGE, Populate::AllocZero).unwrap();
+        let ranges = aspace
+            .populate_range(base, 4 * PAGE, Populate::AllocZero)
+            .unwrap();
         assert_eq!(ranges.iter().map(|r| r.count).sum::<usize>(), 4);
         let mut buf = [0xffu8; 16];
         aspace.read(base + PAGE, &mut buf).unwrap();

@@ -75,9 +75,7 @@ impl IommuDomain {
                     match table.map(cursor, mem.hpa_of(f)) {
                         Ok(()) => {}
                         Err(TableError::Present) => {
-                            return Err(IommuError::AlreadyMapped(Iova(
-                                cursor * self.page.bytes(),
-                            )))
+                            return Err(IommuError::AlreadyMapped(Iova(cursor * self.page.bytes())))
                         }
                         Err(_) => return Err(IommuError::Unaligned(iova)),
                     }

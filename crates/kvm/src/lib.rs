@@ -255,6 +255,26 @@ impl Vm {
         Ok(())
     }
 
+    /// Drops every EPT entry covering `[gpa, gpa+len)` so the next guest
+    /// access takes a fresh EPT violation — and therefore re-runs the
+    /// fault hook. This is the recycle path's re-arming step: after the
+    /// backing frames are re-registered with the lazy-zeroing daemon, the
+    /// stale entries must go or the guest would bypass the hook and read
+    /// whatever the previous tenant left. Returns the number of entries
+    /// removed.
+    pub fn clear_ept_range(&self, gpa: Gpa, len: u64) -> usize {
+        let first = self.page_no(gpa);
+        let last = self.page_no(Gpa(gpa.raw() + len.max(1) - 1));
+        let mut ept = self.ept.lock();
+        let mut removed = 0;
+        for page in first..=last {
+            if ept.unmap(page).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
     /// True if the page containing `gpa` already has an EPT entry.
     pub fn ept_present(&self, gpa: Gpa) -> bool {
         self.ept.lock().lookup(self.page_no(gpa)).is_some()
@@ -298,7 +318,10 @@ mod tests {
             hva,
         })
         .unwrap();
-        assert_eq!(vm.gpa_to_hva(Gpa(PAGE + 5)).unwrap(), Hva(hva.raw() + PAGE + 5));
+        assert_eq!(
+            vm.gpa_to_hva(Gpa(PAGE + 5)).unwrap(),
+            Hva(hva.raw() + PAGE + 5)
+        );
         assert!(matches!(
             vm.gpa_to_hva(Gpa(100 * PAGE)),
             Err(KvmError::NoMemslot(_))
@@ -412,6 +435,36 @@ mod tests {
         vm.read_gpa(Gpa(PAGE), &mut buf).unwrap();
         assert_eq!(hook.0.load(Ordering::Relaxed), 2);
         assert_eq!(vm.stats().hook_zeroed, 2);
+    }
+
+    #[test]
+    fn clear_ept_range_rearms_faults_and_hook() {
+        let (_, aspace, vm) = setup();
+        let hva = aspace.mmap("ram", 4 * PAGE).unwrap();
+        aspace
+            .populate_range(hva, 4 * PAGE, Populate::AllocOnly)
+            .unwrap();
+        vm.set_memslot(Memslot {
+            gpa: Gpa(0),
+            len: 4 * PAGE,
+            hva,
+        })
+        .unwrap();
+        let hook = Arc::new(CountingHook(AtomicU64::new(0)));
+        vm.set_fault_hook(Arc::clone(&hook) as Arc<dyn EptFaultHook>);
+        vm.proactive_fault(Gpa(0), 4 * PAGE).unwrap();
+        assert_eq!(hook.0.load(Ordering::Relaxed), 4);
+        // Clear the middle two pages: their next touch faults (and runs
+        // the hook) again; the outer two stay resident.
+        assert_eq!(vm.clear_ept_range(Gpa(PAGE), 2 * PAGE), 2);
+        assert!(vm.ept_present(Gpa(0)));
+        assert!(!vm.ept_present(Gpa(PAGE)));
+        let mut buf = [0u8; 1];
+        vm.read_gpa(Gpa(0), &mut buf).unwrap();
+        vm.read_gpa(Gpa(PAGE), &mut buf).unwrap();
+        assert_eq!(hook.0.load(Ordering::Relaxed), 5);
+        // Clearing an already-clear range removes nothing.
+        assert_eq!(vm.clear_ept_range(Gpa(10 * PAGE), PAGE), 0);
     }
 
     #[test]

@@ -59,11 +59,8 @@ impl Host {
     pub fn new(params: HostParams, vfio_policy: LockPolicy) -> Result<Arc<Self>> {
         let clock = Clock::with_scale(params.time_scale);
         let cpu = CpuPool::new(clock.clone(), params.host_cores);
-        let membw = FairShareBandwidth::new(
-            clock.clone(),
-            params.membw_total,
-            params.membw_stream_cap,
-        );
+        let membw =
+            FairShareBandwidth::new(clock.clone(), params.membw_total, params.membw_stream_cap);
         let mem = PhysMemory::new(
             MemCosts {
                 clock: clock.clone(),
@@ -114,11 +111,8 @@ impl Host {
             params.virtiofs_total,
             params.virtiofs_stream_cap,
         );
-        let sw_net_bw = FairShareBandwidth::new(
-            clock.clone(),
-            params.sw_net_total,
-            params.sw_net_stream_cap,
-        );
+        let sw_net_bw =
+            FairShareBandwidth::new(clock.clone(), params.sw_net_total, params.sw_net_stream_cap);
         Ok(Arc::new(Host {
             params,
             clock,
@@ -159,7 +153,10 @@ impl Host {
     /// plugin.
     pub fn prebind_all_vfs(&self) -> Result<()> {
         for i in 0..self.pf.vf_count() as u16 {
-            let vf = self.pf.vf(fastiov_nic::VfId(i)).map_err(crate::VmmError::Nic)?;
+            let vf = self
+                .pf
+                .vf(fastiov_nic::VfId(i))
+                .map_err(crate::VmmError::Nic)?;
             self.pf
                 .bind_vfio(fastiov_nic::VfId(i))
                 .map_err(crate::VmmError::Nic)?;

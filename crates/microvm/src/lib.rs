@@ -121,4 +121,9 @@ pub mod stages {
     pub const OTHER: &str = "other";
     /// Software-CNI device creation (Fig. 14).
     pub const ADD_CNI: &str = "addCNI";
+    /// Warm-pool claim: reconfigure a pre-booted microVM for a new pod.
+    pub const WARM_CLAIM: &str = "w-claim";
+    /// Warm-pool recycle: reset a torn-down microVM for reuse (runs off
+    /// the startup critical path, charged to the replenisher).
+    pub const RECYCLE: &str = "w-recycle";
 }

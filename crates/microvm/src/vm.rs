@@ -225,7 +225,12 @@ impl Microvm {
                         let fd = Arc::clone(&host.fastiovd);
                         let register =
                             move |pid: u64, ranges: &[FrameRange]| fd.register_pages(pid, ranges);
-                        c.dma_map(ram_hva, cfg.ram_bytes, Iova(0), DmaZeroMode::Deferred(&register))?
+                        c.dma_map(
+                            ram_hva,
+                            cfg.ram_bytes,
+                            Iova(0),
+                            DmaZeroMode::Deferred(&register),
+                        )?
                     }
                 }
                 Ok(())
@@ -345,7 +350,8 @@ impl Microvm {
             host.cpu.run(params.guest_boot_cpu);
             for p in 0..kernel_pages {
                 let mut sig = [0u8; 16];
-                vm.read_gpa(Gpa(p * page), &mut sig).map_err(VmmError::Kvm)?;
+                vm.read_gpa(Gpa(p * page), &mut sig)
+                    .map_err(VmmError::Kvm)?;
                 if sig != kernel_signature(p) {
                     return Err(VmmError::GuestCrash {
                         detail: format!(
@@ -468,6 +474,137 @@ impl Microvm {
             self.net_readiness.as_ref().map(|r| r.state()),
             Some(crate::guest::GuestNetState::Ready)
         )
+    }
+
+    /// Resets this microVM for reuse by a *new tenant* without tearing
+    /// down its DMA mappings, VFIO state, or VF attachment — the warm-pool
+    /// recycle path.
+    ///
+    /// The security obligation is the same one §4.3.2 settles for cold
+    /// boots, applied to residue of the *previous pod* instead of a
+    /// previous host process: no byte the old tenant wrote (or inherited)
+    /// may ever be guest-readable afterwards. The mechanism mirrors the
+    /// launch path exactly:
+    ///
+    /// 1. every EPT entry over guest RAM is dropped, so each page's next
+    ///    access takes a fresh EPT violation and re-runs the `fastiovd`
+    ///    hook;
+    /// 2. every RAM frame is re-registered with `fastiovd` for lazy
+    ///    zeroing (frames the old tenant dirtied are zeroed on the new
+    ///    tenant's first touch; frames already clean are no-ops);
+    /// 3. the kernel region is instant-zeroed, the kernel is reloaded, and
+    ///    the boot-integrity check re-runs — hypervisor-written pages must
+    ///    never be wiped by a later lazy zero (§4.3.2 exception 1);
+    /// 4. the virtio rings and the VF RX buffer area are proactively
+    ///    faulted (and thereby zeroed *now*), because the host side writes
+    ///    them without going through the EPT (§4.3.2 exception 2) — this
+    ///    also resets both rings to the empty state;
+    /// 5. populated image-region frames are zeroed eagerly (they are
+    ///    file-backed, so they are never on the lazy list).
+    ///
+    /// Runs off the startup critical path: the pool's replenisher thread
+    /// pays these costs, not the claiming pod.
+    pub fn recycle(&self, log: &mut StageLog) -> Result<()> {
+        // Quiesce: a still-running async VF init writes guest memory.
+        if let Some(t) = self.init_thread.lock().take() {
+            let _ = t.join();
+        }
+        let host = &self.host;
+        let page = host.params.page_size.bytes();
+        log.stage(stages::RECYCLE, || -> Result<()> {
+            // (1) Drop stale EPT entries over RAM and the image window.
+            self.vm.clear_ept_range(Gpa(0), self.cfg.ram_bytes);
+            self.vm
+                .clear_ept_range(self.layout.image_gpa, self.cfg.image_bytes);
+
+            // (2) Hand every RAM frame (back) to the lazy-zeroing daemon —
+            // or, outside decoupled mode, zero them all eagerly.
+            let ram_frames = self.aspace.frames_in(self.ram_hva, self.cfg.ram_bytes)?;
+            if self.cfg.zeroing.is_decoupled() {
+                host.fastiovd.register_pages(self.cfg.pid, &ram_frames);
+            } else {
+                host.mem.zero_ranges(&ram_frames).map_err(VmmError::Mem)?;
+            }
+
+            // (5) Image frames are populated only if the old tenant
+            // touched them; zero those in place.
+            let image_pages = self.cfg.image_bytes.div_ceil(page);
+            for p in 0..image_pages {
+                let hva = Hva(self.image_hva.raw() + p * page);
+                if let Ok(hpa) = self.aspace.translate(hva) {
+                    let frame = host.mem.frame_of(hpa).map_err(VmmError::Mem)?;
+                    host.mem.zero_frame(frame).map_err(VmmError::Mem)?;
+                }
+            }
+
+            // (3) Reload the kernel and re-verify boot integrity, exactly
+            // as the launch path does.
+            let kernel_pages = host.params.kernel_bytes.div_ceil(page);
+            if let ZeroingMode::Decoupled {
+                instant_zero_list: true,
+                ..
+            } = self.cfg.zeroing
+            {
+                let kernel_frames = self.aspace.frames_in(self.ram_hva, kernel_pages * page)?;
+                host.fastiovd
+                    .instant_zero(self.cfg.pid, &kernel_frames)
+                    .map_err(VmmError::Mem)?;
+            }
+            for p in 0..kernel_pages {
+                self.aspace
+                    .write(Hva(self.ram_hva.raw() + p * page), &kernel_signature(p))?;
+            }
+            host.cpu.run(host.params.guest_boot_cpu);
+            for p in 0..kernel_pages {
+                let mut sig = [0u8; 16];
+                self.vm
+                    .read_gpa(Gpa(p * page), &mut sig)
+                    .map_err(VmmError::Kvm)?;
+                if sig != kernel_signature(p) {
+                    return Err(VmmError::GuestCrash {
+                        detail: format!("kernel page {p} corrupted during recycle"),
+                    });
+                }
+            }
+
+            // (4) Proactively fault the host-written shared regions so
+            // their zeroing happens here, not under host-side DMA.
+            self.vm
+                .proactive_fault(self.layout.virtiofs_ring_gpa, page)
+                .map_err(VmmError::Kvm)?;
+            if self.virtio_net.is_some() {
+                self.vm
+                    .proactive_fault(self.layout.net_ring_gpa, page)
+                    .map_err(VmmError::Kvm)?;
+            }
+            if self.vf.is_some() {
+                let rx_bytes = (host.params.rx_ring_buffers * host.params.rx_buffer_bytes) as u64;
+                self.vm
+                    .proactive_fault(self.layout.rx_gpa, rx_bytes.max(1))
+                    .map_err(VmmError::Kvm)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Reconfigures the VF identity for a new pod claiming this microVM
+    /// out of the warm pool: MAC reassignment through the PF admin queue
+    /// plus the agent's in-guest address configuration. The (much larger)
+    /// driver bring-up cost was paid at provision time and is not repeated.
+    pub fn reconfigure_identity(&self, index: u32) -> Result<()> {
+        if let Some(vf) = self.vf {
+            let vf_ref = self.host.pf.vf(vf)?;
+            self.host.pf.admin().submit(
+                &vf_ref,
+                fastiov_nic::AdminCmd::SetMac(fastiov_nic::MacAddr::for_vf(vf.0)),
+            );
+            self.host.pf.admin().submit(
+                &vf_ref,
+                fastiov_nic::AdminCmd::SetVlan(100 + (index % 4000) as u16),
+            );
+        }
+        self.host.clock.sleep(self.host.params.agent_assign);
+        Ok(())
     }
 
     /// Tears the microVM down: joins the async initializer, detaches and
@@ -645,6 +782,61 @@ mod tests {
         net.guest_recv(&mut out).unwrap();
         assert_eq!(out, [9u8; 64]);
         vm.wait_net_ready().unwrap();
+        vm.shutdown().unwrap();
+    }
+
+    #[test]
+    fn recycle_wipes_previous_tenant_data_and_keeps_vm_bootable() {
+        let host = host();
+        let cfg = MicrovmConfig::fastiov(30, mb(64), mb(32));
+        let vm = launch(&host, cfg, NetworkAttachment::Passthrough(VfId(5))).unwrap();
+        vm.wait_net_ready().unwrap();
+        // Old tenant writes a secret into its scratch area.
+        let secret = [0xabu8; 64];
+        vm.vm().write_gpa(vm.layout().app_gpa, &secret).unwrap();
+        let mut log = StageLog::begin(host.clock.clone());
+        vm.recycle(&mut log).unwrap();
+        assert!(log.records().iter().any(|r| r.name == stages::RECYCLE));
+        // New tenant reads the same GPA: zeros, never the secret.
+        let mut buf = [0xffu8; 64];
+        vm.vm().read_gpa(vm.layout().app_gpa, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 64]);
+        // Kernel survived the recycle (integrity re-verified inside, and
+        // still intact when read again here).
+        let mut sig = [0u8; 16];
+        vm.vm().read_gpa(Gpa(0), &mut sig).unwrap();
+        assert_eq!(sig, kernel_signature(0));
+        // The virtioFS ring was reset to empty and still works.
+        let payload: Vec<u8> = (0..512u32).map(|i| (i % 250) as u8 + 1).collect();
+        vm.virtiofs().add_file("next.img", payload.clone());
+        let got = vm
+            .virtiofs()
+            .guest_read_to_vec("next.img", vm.layout().app_gpa, 4096)
+            .unwrap();
+        assert_eq!(got, payload);
+        vm.shutdown().unwrap();
+    }
+
+    #[test]
+    fn recycle_reregisters_frames_for_lazy_zeroing() {
+        let host = host();
+        let cfg = MicrovmConfig::fastiov(31, mb(64), mb(32));
+        let vm = launch(&host, cfg, NetworkAttachment::Passthrough(VfId(6))).unwrap();
+        vm.wait_net_ready().unwrap();
+        // Touch (and thus lazily zero) a page so it leaves the tracking
+        // table, then recycle: it must be tracked again.
+        let gpa = vm.layout().app_gpa;
+        let mut b = [0u8; 1];
+        vm.vm().read_gpa(gpa, &mut b).unwrap();
+        let hpa = vm.vm().ept_resolve(gpa).unwrap();
+        assert!(!host.fastiovd.is_tracked(31, hpa));
+        let mut log = StageLog::begin(host.clock.clone());
+        vm.recycle(&mut log).unwrap();
+        assert!(host.fastiovd.is_tracked(31, hpa));
+        assert!(
+            !vm.vm().ept_present(gpa),
+            "stale EPT entry survived recycle"
+        );
         vm.shutdown().unwrap();
     }
 

@@ -368,10 +368,7 @@ mod tests {
         let pf = setup(16);
         assert_eq!(pf.vf_count(), 16);
         assert_eq!(pf.pf_device().sriov_cap().unwrap().num_vfs, 16);
-        assert!(matches!(
-            pf.create_vfs(4),
-            Err(NicError::VfsAlreadyCreated)
-        ));
+        assert!(matches!(pf.create_vfs(4), Err(NicError::VfsAlreadyCreated)));
         assert!(matches!(pf.vf(VfId(99)), Err(NicError::NoSuchVf(99))));
     }
 
@@ -386,10 +383,7 @@ mod tests {
         pf.unbind_host_driver(VfId(0)).unwrap();
         assert!(pf.vf(VfId(0)).unwrap().state().netdev.is_none());
         pf.bind_vfio(VfId(0)).unwrap();
-        assert_eq!(
-            pf.vf(VfId(0)).unwrap().pci().driver(),
-            DriverBinding::Vfio
-        );
+        assert_eq!(pf.vf(VfId(0)).unwrap().pci().driver(), DriverBinding::Vfio);
     }
 
     #[test]
@@ -400,7 +394,10 @@ mod tests {
             pf.admin().submit(&vf, AdminCmd::SetMac(MacAddr::for_vf(1))),
             AdminReply::Ok
         );
-        assert_eq!(pf.admin().submit(&vf, AdminCmd::EnableQueues), AdminReply::Ok);
+        assert_eq!(
+            pf.admin().submit(&vf, AdminCmd::EnableQueues),
+            AdminReply::Ok
+        );
         assert_eq!(
             pf.admin().submit(&vf, AdminCmd::QueryLink),
             AdminReply::Link { up: true }

@@ -206,8 +206,14 @@ mod tests {
             None,
         );
         assert_eq!(d.driver(), DriverBinding::None);
-        assert_eq!(d.bind_driver(DriverBinding::HostNetdev), DriverBinding::None);
-        assert_eq!(d.bind_driver(DriverBinding::Vfio), DriverBinding::HostNetdev);
+        assert_eq!(
+            d.bind_driver(DriverBinding::HostNetdev),
+            DriverBinding::None
+        );
+        assert_eq!(
+            d.bind_driver(DriverBinding::Vfio),
+            DriverBinding::HostNetdev
+        );
         assert_eq!(d.driver(), DriverBinding::Vfio);
     }
 

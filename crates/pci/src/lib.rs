@@ -54,7 +54,10 @@ impl fmt::Display for PciError {
             PciError::NoDevice(bdf) => write!(f, "no PCI device at {bdf}"),
             PciError::DuplicateBdf(bdf) => write!(f, "duplicate PCI device at {bdf}"),
             PciError::WrongDriver { bdf, found } => {
-                write!(f, "device {bdf} bound to {found:?}, operation needs another driver")
+                write!(
+                    f,
+                    "device {bdf} bound to {found:?}, operation needs another driver"
+                )
             }
             PciError::NoSriovCap(bdf) => write!(f, "device {bdf} has no SR-IOV capability"),
             PciError::TooManyVfs { requested, max } => {

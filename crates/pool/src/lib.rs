@@ -1,0 +1,23 @@
+//! Warm microVM pool: pre-provisioned FastIOV microVMs with attached
+//! VFs, admission control, and background recycling.
+//!
+//! The paper removes VF-attach work from the startup critical path; this
+//! crate goes one step further and removes the *boot* as well. A
+//! [`pool::WarmPool`] keeps a configurable number of microVMs fully
+//! launched — VF allocated through the device-plugin flow, devset opened
+//! under the hierarchical VFIO lock, guest RAM DMA-mapped and registered
+//! for decoupled lazy zeroing, kernel booted, VF driver initialized.
+//! Claiming one costs only per-pod identity work (namespace, IP, MAC);
+//! the multi-hundred-millisecond launch was paid off the critical path by
+//! the replenisher thread.
+//!
+//! Security invariant: a recycled microVM re-enters the pool only after
+//! [`fastiov_microvm::Microvm::recycle`] re-registered every guest RAM
+//! frame with `fastiovd` (decoupled mode) or zeroed it eagerly, so no
+//! byte written by a previous tenant is ever guest-readable by the next.
+
+#![warn(missing_docs)]
+
+pub mod pool;
+
+pub use pool::{PoolError, PoolParams, PoolStats, WarmPool, WarmVm, POOL_PID_BASE};

@@ -227,9 +227,10 @@ impl FairShareBandwidth {
         // Small transfers sleep once; only transfers long enough for the
         // active set to change meaningfully are re-sampled. This keeps the
         // number of real sleeps (and hence host timer churn) low.
-        let installments = if self.clock.to_real(Duration::from_secs_f64(
-            bytes as f64 / self.per_stream_cap,
-        )) >= Duration::from_millis(2)
+        let installments = if self
+            .clock
+            .to_real(Duration::from_secs_f64(bytes as f64 / self.per_stream_cap))
+            >= Duration::from_millis(2)
         {
             self.installments
         } else {
@@ -239,8 +240,7 @@ impl FairShareBandwidth {
         for _ in 0..installments {
             let n = self.active.load(Ordering::SeqCst);
             let rate = self.rate(n);
-            self.clock
-                .sleep(Duration::from_secs_f64(slice / rate));
+            self.clock.sleep(Duration::from_secs_f64(slice / rate));
         }
         self.active.fetch_sub(1, Ordering::SeqCst);
         self.operations.fetch_add(1, Ordering::Relaxed);

@@ -169,7 +169,8 @@ mod tests {
     fn eager_map_zeroes_pins_and_maps() {
         let (mem, aspace, c) = setup();
         let hva = aspace.mmap("ram", 8 * PAGE).unwrap();
-        c.dma_map(hva, 8 * PAGE, Iova(0), DmaZeroMode::Eager).unwrap();
+        c.dma_map(hva, 8 * PAGE, Iova(0), DmaZeroMode::Eager)
+            .unwrap();
         let m = &c.mappings()[0];
         assert_eq!(m.ranges.iter().map(|r| r.count).sum::<usize>(), 8);
         for r in &m.ranges {
@@ -229,7 +230,8 @@ mod tests {
     fn translation_follows_page_order() {
         let (mem, aspace, c) = setup();
         let hva = aspace.mmap("ram", 4 * PAGE).unwrap();
-        c.dma_map(hva, 4 * PAGE, Iova(0), DmaZeroMode::Eager).unwrap();
+        c.dma_map(hva, 4 * PAGE, Iova(0), DmaZeroMode::Eager)
+            .unwrap();
         // Writing via HVA page 2 must be visible via IOVA page 2.
         aspace.write(hva + (2 * PAGE + 5), &[0xcd; 4]).unwrap();
         let hpa = c.domain().translate(Iova(2 * PAGE + 5)).unwrap();
@@ -242,7 +244,8 @@ mod tests {
     fn unmap_unpins_and_removes_translations() {
         let (mem, aspace, c) = setup();
         let hva = aspace.mmap("ram", 2 * PAGE).unwrap();
-        c.dma_map(hva, 2 * PAGE, Iova(0), DmaZeroMode::Eager).unwrap();
+        c.dma_map(hva, 2 * PAGE, Iova(0), DmaZeroMode::Eager)
+            .unwrap();
         let m = c.dma_unmap(Iova(0)).unwrap();
         for r in &m.ranges {
             for f in r.iter() {

@@ -448,10 +448,7 @@ mod tests {
             ResetCapability::BusReset,
             None,
         );
-        assert!(matches!(
-            mgr.register(dev),
-            Err(VfioError::NotVfioBound(_))
-        ));
+        assert!(matches!(mgr.register(dev), Err(VfioError::NotVfioBound(_))));
     }
 
     #[test]
@@ -517,8 +514,7 @@ mod tests {
             // thread-spawn noise.
             let clock = Clock::with_scale(1e-3);
             let bus = PciBus::new(clock, Duration::from_micros(100), Duration::from_millis(1));
-            let mgr =
-                DevsetManager::new(Arc::clone(&bus), policy, Duration::from_millis(2000));
+            let mgr = DevsetManager::new(Arc::clone(&bus), policy, Duration::from_millis(2000));
             for i in 0..16 {
                 let dev = PciDevice::new(
                     Bdf::new(3, i, 0),

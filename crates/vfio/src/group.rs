@@ -134,9 +134,6 @@ mod tests {
     #[test]
     fn detach_unattached_is_error() {
         let g = group();
-        assert!(matches!(
-            g.detach(1),
-            Err(VfioError::GroupNotAttached(_))
-        ));
+        assert!(matches!(g.detach(1), Err(VfioError::GroupNotAttached(_))));
     }
 }

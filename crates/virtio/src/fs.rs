@@ -109,7 +109,8 @@ impl VirtioFs {
         let desc = self.ring.host_peek()?;
         let hva = self.vm.gpa_to_hva(desc.gpa)?;
         let aspace = self.vm.address_space();
-        self.bw.transfer_with(n as u64, || aspace.write(hva, &data[..n]))?;
+        self.bw
+            .transfer_with(n as u64, || aspace.write(hva, &data[..n]))?;
         self.ring.host_complete()?;
 
         self.reads.fetch_add(1, Ordering::Relaxed);
@@ -236,7 +237,9 @@ mod tests {
         let fs = make_fs(&s, false);
         let payload: Vec<u8> = (0..4096u32).map(|i| (i % 251) as u8).collect();
         fs.add_file("input.bin", payload.clone());
-        let got = fs.guest_read_to_vec("input.bin", Gpa(4 * PAGE), 8192).unwrap();
+        let got = fs
+            .guest_read_to_vec("input.bin", Gpa(4 * PAGE), 8192)
+            .unwrap();
         assert_eq!(got, payload);
         assert_eq!(fs.stats().reads, 1);
         assert_eq!(fs.stats().bytes_read, 4096);

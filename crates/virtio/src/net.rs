@@ -66,7 +66,8 @@ impl VirtioNet {
         let n = data.len().min(desc.len as usize);
         let hva = self.vm.gpa_to_hva(desc.gpa)?;
         let aspace = self.vm.address_space();
-        self.bw.transfer_with(n as u64, || aspace.write(hva, &data[..n]))?;
+        self.bw
+            .transfer_with(n as u64, || aspace.write(hva, &data[..n]))?;
         self.ring.host_complete()?;
         self.completions.lock().push_back((desc.gpa, n));
         self.cv.notify_all();
@@ -111,7 +112,11 @@ mod tests {
         let clock = Clock::with_scale(1e-5);
         let mem = PhysMemory::new(MemCosts::for_tests(), PageSize::Size2M, 64);
         let aspace = AddressSpace::new(3, mem);
-        let vm = Vm::new(clock.clone(), Arc::clone(&aspace), Duration::from_micros(10));
+        let vm = Vm::new(
+            clock.clone(),
+            Arc::clone(&aspace),
+            Duration::from_micros(10),
+        );
         let hva = aspace.mmap("ram", 8 * PAGE).unwrap();
         vm.set_memslot(Memslot {
             gpa: Gpa(0),
@@ -146,7 +151,8 @@ mod tests {
     fn multiple_packets_in_order() {
         let (_, net) = setup();
         for i in 0..4u8 {
-            net.guest_post_rx(Gpa(4 * PAGE + i as u64 * 4096), 4096).unwrap();
+            net.guest_post_rx(Gpa(4 * PAGE + i as u64 * 4096), 4096)
+                .unwrap();
         }
         for i in 0..4u8 {
             net.host_deliver(&[i; 8]).unwrap();

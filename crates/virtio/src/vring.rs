@@ -68,7 +68,8 @@ impl Vring {
 
     fn guest_read_u32(&self, offset: u64) -> Result<u32> {
         let mut b = [0u8; 4];
-        self.vm.read_gpa(Gpa(self.base_gpa.raw() + offset), &mut b)?;
+        self.vm
+            .read_gpa(Gpa(self.base_gpa.raw() + offset), &mut b)?;
         Ok(u32::from_le_bytes(b))
     }
 
@@ -103,8 +104,7 @@ impl Vring {
         let mut bytes = [0u8; 16];
         bytes[..8].copy_from_slice(&desc.gpa.raw().to_le_bytes());
         bytes[8..12].copy_from_slice(&desc.len.to_le_bytes());
-        self.vm
-            .write_gpa(Gpa(self.base_gpa.raw() + off), &bytes)?;
+        self.vm.write_gpa(Gpa(self.base_gpa.raw() + off), &bytes)?;
         self.guest_write_u32(0, avail.wrapping_add(1))?;
         Ok(())
     }

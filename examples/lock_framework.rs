@@ -25,8 +25,11 @@ struct Connection {
 
 fn run(policy: LockPolicy, conns: usize, requests: u64) -> Duration {
     let pool = Arc::new(ParentChildLock::new(policy, PoolStats::default()));
-    let connections: Arc<Vec<ChildLock<Connection>>> =
-        Arc::new((0..conns).map(|_| ChildLock::new(Connection::default())).collect());
+    let connections: Arc<Vec<ChildLock<Connection>>> = Arc::new(
+        (0..conns)
+            .map(|_| ChildLock::new(Connection::default()))
+            .collect(),
+    );
 
     let t0 = Instant::now();
     let mut handles = Vec::new();

@@ -20,8 +20,13 @@ fn main() {
     // Boot a FastIOV-configured microVM with VF 0 passed through.
     let cfg = MicrovmConfig::fastiov(1, 64 * 1024 * 1024, 32 * 1024 * 1024);
     let mut log = StageLog::begin(host.clock.clone());
-    let vm = Microvm::launch(&host, cfg, NetworkAttachment::Passthrough(VfId(0)), &mut log)
-        .expect("launch");
+    let vm = Microvm::launch(
+        &host,
+        cfg,
+        NetworkAttachment::Passthrough(VfId(0)),
+        &mut log,
+    )
+    .expect("launch");
     vm.wait_net_ready().expect("driver init");
     println!("microVM up; VF 0 attached, driver initialized");
 
@@ -51,7 +56,10 @@ fn main() {
     host.dma
         .post_rx_buffer(VfId(0), Iova(0xdead_0000_0000), 1500)
         .expect("post rogue buffer");
-    let err = host.dma.deliver(VfId(0), &[0u8; 16]).expect_err("must fault");
+    let err = host
+        .dma
+        .deliver(VfId(0), &[0u8; 16])
+        .expect_err("must fault");
     println!("rogue DMA blocked by the IOMMU: {err}");
 
     let stats = vm.vm().stats();

@@ -25,7 +25,11 @@ fn main() {
             app.name(),
             baseline.label(),
             run.completion.mean.as_secs_f64(),
-            run.tasks.iter().map(|t| t.startup.as_secs_f64()).sum::<f64>() / conc as f64,
+            run.tasks
+                .iter()
+                .map(|t| t.startup.as_secs_f64())
+                .sum::<f64>()
+                / conc as f64,
         );
         let mut sorted = run.tasks.clone();
         sorted.sort_by_key(|t| t.index);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_fragmentation-13e72b00b80cc01b.d: crates/bench/src/bin/ablation_fragmentation.rs
+
+/root/repo/target/debug/deps/ablation_fragmentation-13e72b00b80cc01b: crates/bench/src/bin/ablation_fragmentation.rs
+
+crates/bench/src/bin/ablation_fragmentation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fragmentation-2a7070c12dc13919.d: crates/bench/src/bin/ablation_fragmentation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fragmentation-2a7070c12dc13919.rmeta: crates/bench/src/bin/ablation_fragmentation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fragmentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

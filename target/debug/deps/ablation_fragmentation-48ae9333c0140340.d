@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_fragmentation-48ae9333c0140340.d: crates/bench/src/bin/ablation_fragmentation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_fragmentation-48ae9333c0140340.rmeta: crates/bench/src/bin/ablation_fragmentation.rs Cargo.toml
+
+crates/bench/src/bin/ablation_fragmentation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

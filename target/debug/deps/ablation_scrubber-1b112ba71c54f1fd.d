@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_scrubber-1b112ba71c54f1fd.d: crates/bench/src/bin/ablation_scrubber.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_scrubber-1b112ba71c54f1fd.rmeta: crates/bench/src/bin/ablation_scrubber.rs Cargo.toml
+
+crates/bench/src/bin/ablation_scrubber.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

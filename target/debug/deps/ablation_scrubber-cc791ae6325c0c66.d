@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_scrubber-cc791ae6325c0c66.d: crates/bench/src/bin/ablation_scrubber.rs
+
+/root/repo/target/debug/deps/ablation_scrubber-cc791ae6325c0c66: crates/bench/src/bin/ablation_scrubber.rs
+
+crates/bench/src/bin/ablation_scrubber.rs:

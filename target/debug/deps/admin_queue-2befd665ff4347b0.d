@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/admin_queue-2befd665ff4347b0.d: crates/bench/benches/admin_queue.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadmin_queue-2befd665ff4347b0.rmeta: crates/bench/benches/admin_queue.rs Cargo.toml
+
+crates/bench/benches/admin_queue.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-0077127d06474fbd.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-0077127d06474fbd: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-24ad0f2e3da48326.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-24ad0f2e3da48326: tests/concurrency.rs
+
+tests/concurrency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-a3596d355354f730.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-a3596d355354f730: tests/concurrency.rs
+
+tests/concurrency.rs:

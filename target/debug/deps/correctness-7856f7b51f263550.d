@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-7856f7b51f263550.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-7856f7b51f263550: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/correctness-8390082cb8c54f51.d: tests/correctness.rs
+
+/root/repo/target/debug/deps/correctness-8390082cb8c54f51: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/correctness-89602947160de028.d: tests/correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcorrectness-89602947160de028.rmeta: tests/correctness.rs Cargo.toml
+
+tests/correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

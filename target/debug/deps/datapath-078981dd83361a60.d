@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datapath-078981dd83361a60.d: tests/datapath.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatapath-078981dd83361a60.rmeta: tests/datapath.rs Cargo.toml
+
+tests/datapath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

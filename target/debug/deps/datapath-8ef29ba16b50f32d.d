@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath-8ef29ba16b50f32d.d: tests/datapath.rs
+
+/root/repo/target/debug/deps/datapath-8ef29ba16b50f32d: tests/datapath.rs
+
+tests/datapath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath-e4e0b0eea5bff998.d: tests/datapath.rs
+
+/root/repo/target/debug/deps/datapath-e4e0b0eea5bff998: tests/datapath.rs
+
+tests/datapath.rs:

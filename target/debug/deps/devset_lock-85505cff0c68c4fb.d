@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/devset_lock-85505cff0c68c4fb.d: crates/bench/benches/devset_lock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevset_lock-85505cff0c68c4fb.rmeta: crates/bench/benches/devset_lock.rs Cargo.toml
+
+crates/bench/benches/devset_lock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

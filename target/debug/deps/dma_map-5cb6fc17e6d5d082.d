@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dma_map-5cb6fc17e6d5d082.d: crates/bench/benches/dma_map.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdma_map-5cb6fc17e6d5d082.rmeta: crates/bench/benches/dma_map.rs Cargo.toml
+
+crates/bench/benches/dma_map.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1120e334ee546ef4.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1120e334ee546ef4: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-66292209f2021dea.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-66292209f2021dea: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ept_fault-953ea907c5b9d698.d: crates/bench/benches/ept_fault.rs Cargo.toml
+
+/root/repo/target/debug/deps/libept_fault-953ea907c5b9d698.rmeta: crates/bench/benches/ept_fault.rs Cargo.toml
+
+crates/bench/benches/ept_fault.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

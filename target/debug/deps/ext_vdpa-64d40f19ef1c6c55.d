@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_vdpa-64d40f19ef1c6c55.d: crates/bench/src/bin/ext_vdpa.rs
+
+/root/repo/target/debug/deps/ext_vdpa-64d40f19ef1c6c55: crates/bench/src/bin/ext_vdpa.rs
+
+crates/bench/src/bin/ext_vdpa.rs:

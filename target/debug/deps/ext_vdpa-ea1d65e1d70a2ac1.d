@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_vdpa-ea1d65e1d70a2ac1.d: crates/bench/src/bin/ext_vdpa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_vdpa-ea1d65e1d70a2ac1.rmeta: crates/bench/src/bin/ext_vdpa.rs Cargo.toml
+
+crates/bench/src/bin/ext_vdpa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_warmpool-f2576d8e45bb7975.d: crates/bench/src/bin/ext_warmpool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_warmpool-f2576d8e45bb7975.rmeta: crates/bench/src/bin/ext_warmpool.rs Cargo.toml
+
+crates/bench/src/bin/ext_warmpool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

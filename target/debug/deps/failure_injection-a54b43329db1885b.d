@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-a54b43329db1885b.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-a54b43329db1885b: tests/failure_injection.rs
+
+tests/failure_injection.rs:

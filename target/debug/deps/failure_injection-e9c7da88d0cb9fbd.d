@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-e9c7da88d0cb9fbd.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-e9c7da88d0cb9fbd: tests/failure_injection.rs
+
+tests/failure_injection.rs:

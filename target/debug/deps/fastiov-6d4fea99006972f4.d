@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fastiov-6d4fea99006972f4.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libfastiov-6d4fea99006972f4.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libfastiov-6d4fea99006972f4.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/experiment.rs:
+crates/core/src/memperf.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiov-86e7b29f7ad058de.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/fastiov-86e7b29f7ad058de: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/experiment.rs:
+crates/core/src/memperf.rs:
+crates/core/src/report.rs:

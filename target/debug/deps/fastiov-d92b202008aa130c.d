@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fastiov-d92b202008aa130c.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libfastiov-d92b202008aa130c.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libfastiov-d92b202008aa130c.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/experiment.rs:
+crates/core/src/memperf.rs:
+crates/core/src/report.rs:

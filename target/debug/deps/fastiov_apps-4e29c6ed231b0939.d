@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastiov_apps-4e29c6ed231b0939.d: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+/root/repo/target/debug/deps/fastiov_apps-4e29c6ed231b0939: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/storage.rs:
+crates/apps/src/workloads/mod.rs:
+crates/apps/src/workloads/bfs.rs:
+crates/apps/src/workloads/compress.rs:
+crates/apps/src/workloads/image.rs:
+crates/apps/src/workloads/inference.rs:

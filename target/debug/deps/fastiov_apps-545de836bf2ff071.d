@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fastiov_apps-545de836bf2ff071.d: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_apps-545de836bf2ff071.rmeta: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/storage.rs:
+crates/apps/src/workloads/mod.rs:
+crates/apps/src/workloads/bfs.rs:
+crates/apps/src/workloads/compress.rs:
+crates/apps/src/workloads/image.rs:
+crates/apps/src/workloads/inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

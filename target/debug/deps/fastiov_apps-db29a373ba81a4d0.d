@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fastiov_apps-db29a373ba81a4d0.d: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+/root/repo/target/debug/deps/libfastiov_apps-db29a373ba81a4d0.rlib: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+/root/repo/target/debug/deps/libfastiov_apps-db29a373ba81a4d0.rmeta: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/storage.rs:
+crates/apps/src/workloads/mod.rs:
+crates/apps/src/workloads/bfs.rs:
+crates/apps/src/workloads/compress.rs:
+crates/apps/src/workloads/image.rs:
+crates/apps/src/workloads/inference.rs:

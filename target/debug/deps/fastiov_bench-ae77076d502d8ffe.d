@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiov_bench-ae77076d502d8ffe.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_bench-ae77076d502d8ffe.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastiov_bench-b89da540e5179b0e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/fastiov_bench-b89da540e5179b0e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastiov_bench-d7e863820f41e91e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfastiov_bench-d7e863820f41e91e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libfastiov_bench-d7e863820f41e91e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastiov_cni-7d58623c54092bba.d: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+/root/repo/target/debug/deps/fastiov_cni-7d58623c54092bba: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+crates/cni/src/lib.rs:
+crates/cni/src/nns.rs:
+crates/cni/src/plugin.rs:
+crates/cni/src/sriovdp.rs:

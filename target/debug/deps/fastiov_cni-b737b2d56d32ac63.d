@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastiov_cni-b737b2d56d32ac63.d: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_cni-b737b2d56d32ac63.rmeta: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs Cargo.toml
+
+crates/cni/src/lib.rs:
+crates/cni/src/nns.rs:
+crates/cni/src/plugin.rs:
+crates/cni/src/sriovdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

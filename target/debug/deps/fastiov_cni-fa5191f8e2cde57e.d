@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastiov_cni-fa5191f8e2cde57e.d: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+/root/repo/target/debug/deps/libfastiov_cni-fa5191f8e2cde57e.rlib: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+/root/repo/target/debug/deps/libfastiov_cni-fa5191f8e2cde57e.rmeta: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+crates/cni/src/lib.rs:
+crates/cni/src/nns.rs:
+crates/cni/src/plugin.rs:
+crates/cni/src/sriovdp.rs:

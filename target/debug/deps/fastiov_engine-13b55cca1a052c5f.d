@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastiov_engine-13b55cca1a052c5f.d: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs
+
+/root/repo/target/debug/deps/fastiov_engine-13b55cca1a052c5f: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cgroup.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/stats.rs:

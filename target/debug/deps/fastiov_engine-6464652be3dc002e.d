@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fastiov_engine-6464652be3dc002e.d: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_engine-6464652be3dc002e.rmeta: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/cgroup.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/sustain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

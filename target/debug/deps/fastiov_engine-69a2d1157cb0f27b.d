@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastiov_engine-69a2d1157cb0f27b.d: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs
+
+/root/repo/target/debug/deps/libfastiov_engine-69a2d1157cb0f27b.rlib: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs
+
+/root/repo/target/debug/deps/libfastiov_engine-69a2d1157cb0f27b.rmeta: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cgroup.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/stats.rs:

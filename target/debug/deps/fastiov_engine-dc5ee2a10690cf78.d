@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fastiov_engine-dc5ee2a10690cf78.d: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs
+
+/root/repo/target/debug/deps/libfastiov_engine-dc5ee2a10690cf78.rlib: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs
+
+/root/repo/target/debug/deps/libfastiov_engine-dc5ee2a10690cf78.rmeta: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cgroup.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/sustain.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fastiov_hostmem-0e633910ca49704f.d: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_hostmem-0e633910ca49704f.rmeta: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs Cargo.toml
+
+crates/hostmem/src/lib.rs:
+crates/hostmem/src/addr.rs:
+crates/hostmem/src/alloc.rs:
+crates/hostmem/src/content.rs:
+crates/hostmem/src/mmu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

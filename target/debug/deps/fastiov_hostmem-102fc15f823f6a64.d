@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fastiov_hostmem-102fc15f823f6a64.d: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+/root/repo/target/debug/deps/libfastiov_hostmem-102fc15f823f6a64.rlib: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+/root/repo/target/debug/deps/libfastiov_hostmem-102fc15f823f6a64.rmeta: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+crates/hostmem/src/lib.rs:
+crates/hostmem/src/addr.rs:
+crates/hostmem/src/alloc.rs:
+crates/hostmem/src/content.rs:
+crates/hostmem/src/mmu.rs:

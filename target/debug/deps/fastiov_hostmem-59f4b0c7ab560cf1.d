@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiov_hostmem-59f4b0c7ab560cf1.d: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+/root/repo/target/debug/deps/fastiov_hostmem-59f4b0c7ab560cf1: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+crates/hostmem/src/lib.rs:
+crates/hostmem/src/addr.rs:
+crates/hostmem/src/alloc.rs:
+crates/hostmem/src/content.rs:
+crates/hostmem/src/mmu.rs:

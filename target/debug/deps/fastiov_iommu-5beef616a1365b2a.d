@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastiov_iommu-5beef616a1365b2a.d: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+/root/repo/target/debug/deps/fastiov_iommu-5beef616a1365b2a: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/domain.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastiov_iommu-6141e902d91b49ff.d: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+/root/repo/target/debug/deps/libfastiov_iommu-6141e902d91b49ff.rlib: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+/root/repo/target/debug/deps/libfastiov_iommu-6141e902d91b49ff.rmeta: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/domain.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastiov_iommu-6540358657be85d4.d: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_iommu-6540358657be85d4.rmeta: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs Cargo.toml
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/domain.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

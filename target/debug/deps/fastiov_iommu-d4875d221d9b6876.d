@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastiov_iommu-d4875d221d9b6876.d: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_iommu-d4875d221d9b6876.rmeta: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs Cargo.toml
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/domain.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

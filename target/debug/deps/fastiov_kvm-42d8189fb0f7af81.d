@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastiov_kvm-42d8189fb0f7af81.d: crates/kvm/src/lib.rs
+
+/root/repo/target/debug/deps/fastiov_kvm-42d8189fb0f7af81: crates/kvm/src/lib.rs
+
+crates/kvm/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiov_kvm-43132f0b8dc97b58.d: crates/kvm/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_kvm-43132f0b8dc97b58.rmeta: crates/kvm/src/lib.rs Cargo.toml
+
+crates/kvm/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

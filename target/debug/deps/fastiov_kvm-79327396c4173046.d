@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastiov_kvm-79327396c4173046.d: crates/kvm/src/lib.rs
+
+/root/repo/target/debug/deps/libfastiov_kvm-79327396c4173046.rlib: crates/kvm/src/lib.rs
+
+/root/repo/target/debug/deps/libfastiov_kvm-79327396c4173046.rmeta: crates/kvm/src/lib.rs
+
+crates/kvm/src/lib.rs:

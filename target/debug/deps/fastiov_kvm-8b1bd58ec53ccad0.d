@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiov_kvm-8b1bd58ec53ccad0.d: crates/kvm/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_kvm-8b1bd58ec53ccad0.rmeta: crates/kvm/src/lib.rs Cargo.toml
+
+crates/kvm/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastiov_microvm-4e6a41edc35b250a.d: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+/root/repo/target/debug/deps/libfastiov_microvm-4e6a41edc35b250a.rlib: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+/root/repo/target/debug/deps/libfastiov_microvm-4e6a41edc35b250a.rmeta: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+crates/microvm/src/lib.rs:
+crates/microvm/src/guest.rs:
+crates/microvm/src/host.rs:
+crates/microvm/src/irq.rs:
+crates/microvm/src/params.rs:
+crates/microvm/src/vm.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fastiov_microvm-6601a4e9e02a75aa.d: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_microvm-6601a4e9e02a75aa.rmeta: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs Cargo.toml
+
+crates/microvm/src/lib.rs:
+crates/microvm/src/guest.rs:
+crates/microvm/src/host.rs:
+crates/microvm/src/irq.rs:
+crates/microvm/src/params.rs:
+crates/microvm/src/vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastiov_microvm-f9886b4b55fbe051.d: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+/root/repo/target/debug/deps/fastiov_microvm-f9886b4b55fbe051: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+crates/microvm/src/lib.rs:
+crates/microvm/src/guest.rs:
+crates/microvm/src/host.rs:
+crates/microvm/src/irq.rs:
+crates/microvm/src/params.rs:
+crates/microvm/src/vm.rs:

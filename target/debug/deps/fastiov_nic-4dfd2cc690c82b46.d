@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fastiov_nic-4dfd2cc690c82b46.d: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_nic-4dfd2cc690c82b46.rmeta: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs Cargo.toml
+
+crates/nic/src/lib.rs:
+crates/nic/src/dma.rs:
+crates/nic/src/msix.rs:
+crates/nic/src/pf.rs:
+crates/nic/src/tx.rs:
+crates/nic/src/vf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

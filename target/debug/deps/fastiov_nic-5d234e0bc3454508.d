@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastiov_nic-5d234e0bc3454508.d: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+/root/repo/target/debug/deps/fastiov_nic-5d234e0bc3454508: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/dma.rs:
+crates/nic/src/msix.rs:
+crates/nic/src/pf.rs:
+crates/nic/src/tx.rs:
+crates/nic/src/vf.rs:

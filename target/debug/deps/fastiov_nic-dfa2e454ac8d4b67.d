@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastiov_nic-dfa2e454ac8d4b67.d: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+/root/repo/target/debug/deps/libfastiov_nic-dfa2e454ac8d4b67.rlib: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+/root/repo/target/debug/deps/libfastiov_nic-dfa2e454ac8d4b67.rmeta: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/dma.rs:
+crates/nic/src/msix.rs:
+crates/nic/src/pf.rs:
+crates/nic/src/tx.rs:
+crates/nic/src/vf.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastiov_pci-18814b015ab0af2e.d: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_pci-18814b015ab0af2e.rmeta: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs Cargo.toml
+
+crates/pci/src/lib.rs:
+crates/pci/src/bus.rs:
+crates/pci/src/config.rs:
+crates/pci/src/device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

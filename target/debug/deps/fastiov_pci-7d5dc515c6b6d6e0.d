@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastiov_pci-7d5dc515c6b6d6e0.d: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+/root/repo/target/debug/deps/libfastiov_pci-7d5dc515c6b6d6e0.rlib: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+/root/repo/target/debug/deps/libfastiov_pci-7d5dc515c6b6d6e0.rmeta: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+crates/pci/src/lib.rs:
+crates/pci/src/bus.rs:
+crates/pci/src/config.rs:
+crates/pci/src/device.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastiov_pci-bb9dc2c86328daa5.d: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+/root/repo/target/debug/deps/fastiov_pci-bb9dc2c86328daa5: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+crates/pci/src/lib.rs:
+crates/pci/src/bus.rs:
+crates/pci/src/config.rs:
+crates/pci/src/device.rs:

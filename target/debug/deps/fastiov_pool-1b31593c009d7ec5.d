@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastiov_pool-1b31593c009d7ec5.d: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+/root/repo/target/debug/deps/libfastiov_pool-1b31593c009d7ec5.rlib: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+/root/repo/target/debug/deps/libfastiov_pool-1b31593c009d7ec5.rmeta: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:

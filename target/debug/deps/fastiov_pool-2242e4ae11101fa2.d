@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/fastiov_pool-2242e4ae11101fa2.d: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+/root/repo/target/debug/deps/fastiov_pool-2242e4ae11101fa2: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastiov_pool-e2368f0fc553d8e7.d: crates/pool/src/lib.rs crates/pool/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_pool-e2368f0fc553d8e7.rmeta: crates/pool/src/lib.rs crates/pool/src/pool.rs Cargo.toml
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

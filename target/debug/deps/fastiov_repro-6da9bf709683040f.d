@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastiov_repro-6da9bf709683040f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfastiov_repro-6da9bf709683040f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfastiov_repro-6da9bf709683040f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiov_repro-778d997f14d7748d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_repro-778d997f14d7748d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastiov_repro-a8339057d474bae5.d: src/lib.rs
+
+/root/repo/target/debug/deps/fastiov_repro-a8339057d474bae5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastiov_repro-b2bd1a9717c32e38.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfastiov_repro-b2bd1a9717c32e38.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfastiov_repro-b2bd1a9717c32e38.rmeta: src/lib.rs
+
+src/lib.rs:

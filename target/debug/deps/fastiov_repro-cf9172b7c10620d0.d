@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastiov_repro-cf9172b7c10620d0.d: src/lib.rs
+
+/root/repo/target/debug/deps/fastiov_repro-cf9172b7c10620d0: src/lib.rs
+
+src/lib.rs:

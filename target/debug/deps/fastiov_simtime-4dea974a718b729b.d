@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fastiov_simtime-4dea974a718b729b.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_simtime-4dea974a718b729b.rmeta: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs Cargo.toml
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/resources.rs:
+crates/simtime/src/semaphore.rs:
+crates/simtime/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fastiov_simtime-7d4e26aba17992df.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/debug/deps/libfastiov_simtime-7d4e26aba17992df.rlib: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/debug/deps/libfastiov_simtime-7d4e26aba17992df.rmeta: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/resources.rs:
+crates/simtime/src/semaphore.rs:
+crates/simtime/src/timeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiov_simtime-cf5ab46c8fbafe18.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/debug/deps/fastiov_simtime-cf5ab46c8fbafe18: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/resources.rs:
+crates/simtime/src/semaphore.rs:
+crates/simtime/src/timeline.rs:

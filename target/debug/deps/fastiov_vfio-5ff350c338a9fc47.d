@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fastiov_vfio-5ff350c338a9fc47.d: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+/root/repo/target/debug/deps/libfastiov_vfio-5ff350c338a9fc47.rlib: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+/root/repo/target/debug/deps/libfastiov_vfio-5ff350c338a9fc47.rmeta: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+crates/vfio/src/lib.rs:
+crates/vfio/src/container.rs:
+crates/vfio/src/devset.rs:
+crates/vfio/src/group.rs:
+crates/vfio/src/locking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiov_vfio-7d1b4274385fca78.d: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+/root/repo/target/debug/deps/fastiov_vfio-7d1b4274385fca78: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+crates/vfio/src/lib.rs:
+crates/vfio/src/container.rs:
+crates/vfio/src/devset.rs:
+crates/vfio/src/group.rs:
+crates/vfio/src/locking.rs:

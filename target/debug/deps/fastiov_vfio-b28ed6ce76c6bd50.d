@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fastiov_vfio-b28ed6ce76c6bd50.d: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_vfio-b28ed6ce76c6bd50.rmeta: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs Cargo.toml
+
+crates/vfio/src/lib.rs:
+crates/vfio/src/container.rs:
+crates/vfio/src/devset.rs:
+crates/vfio/src/group.rs:
+crates/vfio/src/locking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fastiov_virtio-2fe6456afb7ebbb5.d: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+/root/repo/target/debug/deps/libfastiov_virtio-2fe6456afb7ebbb5.rlib: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+/root/repo/target/debug/deps/libfastiov_virtio-2fe6456afb7ebbb5.rmeta: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/fs.rs:
+crates/virtio/src/net.rs:
+crates/virtio/src/vring.rs:

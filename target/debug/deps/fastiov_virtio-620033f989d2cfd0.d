@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fastiov_virtio-620033f989d2cfd0.d: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+/root/repo/target/debug/deps/fastiov_virtio-620033f989d2cfd0: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/fs.rs:
+crates/virtio/src/net.rs:
+crates/virtio/src/vring.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fastiov_virtio-f9854d0b83721e96.d: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiov_virtio-f9854d0b83721e96.rmeta: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs Cargo.toml
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/fs.rs:
+crates/virtio/src/net.rs:
+crates/virtio/src/vring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastiovctl-4f11e3e43313af00.d: crates/core/src/bin/fastiovctl.rs
+
+/root/repo/target/debug/deps/fastiovctl-4f11e3e43313af00: crates/core/src/bin/fastiovctl.rs
+
+crates/core/src/bin/fastiovctl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiovctl-e7a3ce46bc77dc0b.d: crates/core/src/bin/fastiovctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiovctl-e7a3ce46bc77dc0b.rmeta: crates/core/src/bin/fastiovctl.rs Cargo.toml
+
+crates/core/src/bin/fastiovctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

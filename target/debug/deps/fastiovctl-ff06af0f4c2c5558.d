@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiovctl-ff06af0f4c2c5558.d: crates/core/src/bin/fastiovctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiovctl-ff06af0f4c2c5558.rmeta: crates/core/src/bin/fastiovctl.rs Cargo.toml
+
+crates/core/src/bin/fastiovctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

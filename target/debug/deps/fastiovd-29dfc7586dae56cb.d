@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiovd-29dfc7586dae56cb.d: crates/fastiovd/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiovd-29dfc7586dae56cb.rmeta: crates/fastiovd/src/lib.rs Cargo.toml
+
+crates/fastiovd/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastiovd-5871c6928fec3733.d: crates/fastiovd/src/lib.rs
+
+/root/repo/target/debug/deps/fastiovd-5871c6928fec3733: crates/fastiovd/src/lib.rs
+
+crates/fastiovd/src/lib.rs:

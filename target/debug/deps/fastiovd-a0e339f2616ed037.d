@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fastiovd-a0e339f2616ed037.d: crates/fastiovd/src/lib.rs
+
+/root/repo/target/debug/deps/libfastiovd-a0e339f2616ed037.rlib: crates/fastiovd/src/lib.rs
+
+/root/repo/target/debug/deps/libfastiovd-a0e339f2616ed037.rmeta: crates/fastiovd/src/lib.rs
+
+crates/fastiovd/src/lib.rs:

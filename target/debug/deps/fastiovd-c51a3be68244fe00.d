@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastiovd-c51a3be68244fe00.d: crates/fastiovd/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastiovd-c51a3be68244fe00.rmeta: crates/fastiovd/src/lib.rs Cargo.toml
+
+crates/fastiovd/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_overhead-70ef9ae40fd8d807.d: crates/bench/src/bin/fig01_overhead.rs
+
+/root/repo/target/debug/deps/fig01_overhead-70ef9ae40fd8d807: crates/bench/src/bin/fig01_overhead.rs
+
+crates/bench/src/bin/fig01_overhead.rs:

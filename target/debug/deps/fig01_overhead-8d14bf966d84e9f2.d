@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_overhead-8d14bf966d84e9f2.d: crates/bench/src/bin/fig01_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_overhead-8d14bf966d84e9f2.rmeta: crates/bench/src/bin/fig01_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig01_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_overhead-d85cd01a70ca73b8.d: crates/bench/src/bin/fig01_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_overhead-d85cd01a70ca73b8.rmeta: crates/bench/src/bin/fig01_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig01_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

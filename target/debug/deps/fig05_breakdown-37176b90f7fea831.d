@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig05_breakdown-37176b90f7fea831.d: crates/bench/src/bin/fig05_breakdown.rs
+
+/root/repo/target/debug/deps/fig05_breakdown-37176b90f7fea831: crates/bench/src/bin/fig05_breakdown.rs
+
+crates/bench/src/bin/fig05_breakdown.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig05_breakdown-ef08adbc4e9b95ca.d: crates/bench/src/bin/fig05_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig05_breakdown-ef08adbc4e9b95ca.rmeta: crates/bench/src/bin/fig05_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig05_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_baselines-756ab90e2267f7c8.d: crates/bench/src/bin/fig11_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_baselines-756ab90e2267f7c8.rmeta: crates/bench/src/bin/fig11_baselines.rs Cargo.toml
+
+crates/bench/src/bin/fig11_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_baselines-bcf676c82d25432e.d: crates/bench/src/bin/fig11_baselines.rs
+
+/root/repo/target/debug/deps/fig11_baselines-bcf676c82d25432e: crates/bench/src/bin/fig11_baselines.rs
+
+crates/bench/src/bin/fig11_baselines.rs:

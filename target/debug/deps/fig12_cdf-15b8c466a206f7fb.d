@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_cdf-15b8c466a206f7fb.d: crates/bench/src/bin/fig12_cdf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_cdf-15b8c466a206f7fb.rmeta: crates/bench/src/bin/fig12_cdf.rs Cargo.toml
+
+crates/bench/src/bin/fig12_cdf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_cdf-b860764c532aaac5.d: crates/bench/src/bin/fig12_cdf.rs
+
+/root/repo/target/debug/deps/fig12_cdf-b860764c532aaac5: crates/bench/src/bin/fig12_cdf.rs
+
+crates/bench/src/bin/fig12_cdf.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_factors-2e67297e6768b74b.d: crates/bench/src/bin/fig13_factors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_factors-2e67297e6768b74b.rmeta: crates/bench/src/bin/fig13_factors.rs Cargo.toml
+
+crates/bench/src/bin/fig13_factors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_factors-a9b2a9d797782a24.d: crates/bench/src/bin/fig13_factors.rs
+
+/root/repo/target/debug/deps/fig13_factors-a9b2a9d797782a24: crates/bench/src/bin/fig13_factors.rs
+
+crates/bench/src/bin/fig13_factors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_software_cni-ba984ff632ed9b54.d: crates/bench/src/bin/fig14_software_cni.rs
+
+/root/repo/target/debug/deps/fig14_software_cni-ba984ff632ed9b54: crates/bench/src/bin/fig14_software_cni.rs
+
+crates/bench/src/bin/fig14_software_cni.rs:

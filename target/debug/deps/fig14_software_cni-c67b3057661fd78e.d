@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_software_cni-c67b3057661fd78e.d: crates/bench/src/bin/fig14_software_cni.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_software_cni-c67b3057661fd78e.rmeta: crates/bench/src/bin/fig14_software_cni.rs Cargo.toml
+
+crates/bench/src/bin/fig14_software_cni.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

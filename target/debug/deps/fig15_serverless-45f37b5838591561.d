@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_serverless-45f37b5838591561.d: crates/bench/src/bin/fig15_serverless.rs
+
+/root/repo/target/debug/deps/fig15_serverless-45f37b5838591561: crates/bench/src/bin/fig15_serverless.rs
+
+crates/bench/src/bin/fig15_serverless.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_serverless-594c6c705da34701.d: crates/bench/src/bin/fig15_serverless.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_serverless-594c6c705da34701.rmeta: crates/bench/src/bin/fig15_serverless.rs Cargo.toml
+
+crates/bench/src/bin/fig15_serverless.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_sweeps-547079ada738a5fd.d: crates/bench/src/bin/fig16_sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_sweeps-547079ada738a5fd.rmeta: crates/bench/src/bin/fig16_sweeps.rs Cargo.toml
+
+crates/bench/src/bin/fig16_sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

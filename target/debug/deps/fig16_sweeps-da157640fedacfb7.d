@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_sweeps-da157640fedacfb7.d: crates/bench/src/bin/fig16_sweeps.rs
+
+/root/repo/target/debug/deps/fig16_sweeps-da157640fedacfb7: crates/bench/src/bin/fig16_sweeps.rs
+
+crates/bench/src/bin/fig16_sweeps.rs:

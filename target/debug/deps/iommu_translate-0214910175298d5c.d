@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/iommu_translate-0214910175298d5c.d: crates/bench/benches/iommu_translate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libiommu_translate-0214910175298d5c.rmeta: crates/bench/benches/iommu_translate.rs Cargo.toml
+
+crates/bench/benches/iommu_translate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pool_recycle-bb298855f960a5f1.d: tests/pool_recycle.rs
+
+/root/repo/target/debug/deps/pool_recycle-bb298855f960a5f1: tests/pool_recycle.rs
+
+tests/pool_recycle.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pool_recycle-e799db6dcf9b2537.d: tests/pool_recycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpool_recycle-e799db6dcf9b2537.rmeta: tests/pool_recycle.rs Cargo.toml
+
+tests/pool_recycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

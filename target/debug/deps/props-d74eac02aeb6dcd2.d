@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-d74eac02aeb6dcd2.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-d74eac02aeb6dcd2: tests/props.rs
+
+tests/props.rs:

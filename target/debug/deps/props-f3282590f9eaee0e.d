@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-f3282590f9eaee0e.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-f3282590f9eaee0e: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run_all-e9fddaff9e61f3cc.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/debug/deps/run_all-e9fddaff9e61f3cc: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

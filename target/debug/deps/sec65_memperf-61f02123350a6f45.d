@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sec65_memperf-61f02123350a6f45.d: crates/bench/src/bin/sec65_memperf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsec65_memperf-61f02123350a6f45.rmeta: crates/bench/src/bin/sec65_memperf.rs Cargo.toml
+
+crates/bench/src/bin/sec65_memperf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sec65_memperf-92dac3aa97d7fe14.d: crates/bench/src/bin/sec65_memperf.rs
+
+/root/repo/target/debug/deps/sec65_memperf-92dac3aa97d7fe14: crates/bench/src/bin/sec65_memperf.rs
+
+crates/bench/src/bin/sec65_memperf.rs:

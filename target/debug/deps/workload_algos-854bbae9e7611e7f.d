@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workload_algos-854bbae9e7611e7f.d: crates/bench/benches/workload_algos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkload_algos-854bbae9e7611e7f.rmeta: crates/bench/benches/workload_algos.rs Cargo.toml
+
+crates/bench/benches/workload_algos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

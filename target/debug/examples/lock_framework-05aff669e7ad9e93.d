@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_framework-05aff669e7ad9e93.d: examples/lock_framework.rs
+
+/root/repo/target/debug/examples/lock_framework-05aff669e7ad9e93: examples/lock_framework.rs
+
+examples/lock_framework.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lock_framework-113a6174e79a8a27.d: examples/lock_framework.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblock_framework-113a6174e79a8a27.rmeta: examples/lock_framework.rs Cargo.toml
+
+examples/lock_framework.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

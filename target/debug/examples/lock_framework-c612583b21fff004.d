@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lock_framework-c612583b21fff004.d: examples/lock_framework.rs
+
+/root/repo/target/debug/examples/lock_framework-c612583b21fff004: examples/lock_framework.rs
+
+examples/lock_framework.rs:

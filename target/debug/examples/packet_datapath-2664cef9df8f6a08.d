@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_datapath-2664cef9df8f6a08.d: examples/packet_datapath.rs
+
+/root/repo/target/debug/examples/packet_datapath-2664cef9df8f6a08: examples/packet_datapath.rs
+
+examples/packet_datapath.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/packet_datapath-32c20210fa476a75.d: examples/packet_datapath.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpacket_datapath-32c20210fa476a75.rmeta: examples/packet_datapath.rs Cargo.toml
+
+examples/packet_datapath.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

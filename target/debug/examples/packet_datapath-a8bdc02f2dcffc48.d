@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/packet_datapath-a8bdc02f2dcffc48.d: examples/packet_datapath.rs
+
+/root/repo/target/debug/examples/packet_datapath-a8bdc02f2dcffc48: examples/packet_datapath.rs
+
+examples/packet_datapath.rs:

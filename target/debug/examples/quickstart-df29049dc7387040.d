@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-df29049dc7387040.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-df29049dc7387040: examples/quickstart.rs
+
+examples/quickstart.rs:

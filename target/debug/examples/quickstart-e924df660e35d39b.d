@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e924df660e35d39b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e924df660e35d39b: examples/quickstart.rs
+
+examples/quickstart.rs:

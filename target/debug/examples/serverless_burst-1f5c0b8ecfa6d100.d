@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serverless_burst-1f5c0b8ecfa6d100.d: examples/serverless_burst.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserverless_burst-1f5c0b8ecfa6d100.rmeta: examples/serverless_burst.rs Cargo.toml
+
+examples/serverless_burst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

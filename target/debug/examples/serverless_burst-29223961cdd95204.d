@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serverless_burst-29223961cdd95204.d: examples/serverless_burst.rs
+
+/root/repo/target/debug/examples/serverless_burst-29223961cdd95204: examples/serverless_burst.rs
+
+examples/serverless_burst.rs:

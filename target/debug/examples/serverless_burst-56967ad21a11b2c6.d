@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serverless_burst-56967ad21a11b2c6.d: examples/serverless_burst.rs
+
+/root/repo/target/debug/examples/serverless_burst-56967ad21a11b2c6: examples/serverless_burst.rs
+
+examples/serverless_burst.rs:

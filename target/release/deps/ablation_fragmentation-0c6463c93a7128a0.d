@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fragmentation-0c6463c93a7128a0.d: crates/bench/src/bin/ablation_fragmentation.rs
+
+/root/repo/target/release/deps/ablation_fragmentation-0c6463c93a7128a0: crates/bench/src/bin/ablation_fragmentation.rs
+
+crates/bench/src/bin/ablation_fragmentation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_fragmentation-5dff3ce9cbfba2bb.d: crates/bench/src/bin/ablation_fragmentation.rs
+
+/root/repo/target/release/deps/ablation_fragmentation-5dff3ce9cbfba2bb: crates/bench/src/bin/ablation_fragmentation.rs
+
+crates/bench/src/bin/ablation_fragmentation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_scrubber-21a5d73b34269e62.d: crates/bench/src/bin/ablation_scrubber.rs
+
+/root/repo/target/release/deps/ablation_scrubber-21a5d73b34269e62: crates/bench/src/bin/ablation_scrubber.rs
+
+crates/bench/src/bin/ablation_scrubber.rs:

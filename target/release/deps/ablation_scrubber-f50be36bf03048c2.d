@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_scrubber-f50be36bf03048c2.d: crates/bench/src/bin/ablation_scrubber.rs
+
+/root/repo/target/release/deps/ablation_scrubber-f50be36bf03048c2: crates/bench/src/bin/ablation_scrubber.rs
+
+crates/bench/src/bin/ablation_scrubber.rs:

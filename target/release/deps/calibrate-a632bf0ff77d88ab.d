@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-a632bf0ff77d88ab.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-a632bf0ff77d88ab: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

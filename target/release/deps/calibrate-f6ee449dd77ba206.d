@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-f6ee449dd77ba206.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-f6ee449dd77ba206: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

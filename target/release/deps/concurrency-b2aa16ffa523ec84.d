@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrency-b2aa16ffa523ec84.d: tests/concurrency.rs
+
+/root/repo/target/release/deps/concurrency-b2aa16ffa523ec84: tests/concurrency.rs
+
+tests/concurrency.rs:

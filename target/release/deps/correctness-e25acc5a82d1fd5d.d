@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/correctness-e25acc5a82d1fd5d.d: tests/correctness.rs
+
+/root/repo/target/release/deps/correctness-e25acc5a82d1fd5d: tests/correctness.rs
+
+tests/correctness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-1ee0dbc2694cf4cd.d: shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-1ee0dbc2694cf4cd: shims/criterion/src/lib.rs
+
+shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-76f53511faeaad25.d: shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-76f53511faeaad25: shims/crossbeam/src/lib.rs
+
+shims/crossbeam/src/lib.rs:

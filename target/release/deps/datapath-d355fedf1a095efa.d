@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/datapath-d355fedf1a095efa.d: tests/datapath.rs
+
+/root/repo/target/release/deps/datapath-d355fedf1a095efa: tests/datapath.rs
+
+tests/datapath.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-0da753fcf4d34199.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-0da753fcf4d34199: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_vdpa-32f7bee7ffeffb18.d: crates/bench/src/bin/ext_vdpa.rs
+
+/root/repo/target/release/deps/ext_vdpa-32f7bee7ffeffb18: crates/bench/src/bin/ext_vdpa.rs
+
+crates/bench/src/bin/ext_vdpa.rs:

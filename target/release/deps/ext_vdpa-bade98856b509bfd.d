@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_vdpa-bade98856b509bfd.d: crates/bench/src/bin/ext_vdpa.rs
+
+/root/repo/target/release/deps/ext_vdpa-bade98856b509bfd: crates/bench/src/bin/ext_vdpa.rs
+
+crates/bench/src/bin/ext_vdpa.rs:

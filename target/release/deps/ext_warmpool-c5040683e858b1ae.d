@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_warmpool-c5040683e858b1ae.d: crates/bench/src/bin/ext_warmpool.rs
+
+/root/repo/target/release/deps/ext_warmpool-c5040683e858b1ae: crates/bench/src/bin/ext_warmpool.rs
+
+crates/bench/src/bin/ext_warmpool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_warmpool-fabf964259b3e2cb.d: crates/bench/src/bin/ext_warmpool.rs
+
+/root/repo/target/release/deps/ext_warmpool-fabf964259b3e2cb: crates/bench/src/bin/ext_warmpool.rs
+
+crates/bench/src/bin/ext_warmpool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-e79e729a082736f7.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-e79e729a082736f7: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fastiov-0865f5b1bb60fb64.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/fastiov-0865f5b1bb60fb64: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/experiment.rs:
+crates/core/src/memperf.rs:
+crates/core/src/report.rs:

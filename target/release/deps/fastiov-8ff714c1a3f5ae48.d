@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fastiov-8ff714c1a3f5ae48.d: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libfastiov-8ff714c1a3f5ae48.rlib: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libfastiov-8ff714c1a3f5ae48.rmeta: crates/core/src/lib.rs crates/core/src/baseline.rs crates/core/src/experiment.rs crates/core/src/memperf.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baseline.rs:
+crates/core/src/experiment.rs:
+crates/core/src/memperf.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fastiov_apps-0d3c94340ef4f028.d: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+/root/repo/target/release/deps/fastiov_apps-0d3c94340ef4f028: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/storage.rs:
+crates/apps/src/workloads/mod.rs:
+crates/apps/src/workloads/bfs.rs:
+crates/apps/src/workloads/compress.rs:
+crates/apps/src/workloads/image.rs:
+crates/apps/src/workloads/inference.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fastiov_apps-10614b65d9361a4a.d: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+/root/repo/target/release/deps/libfastiov_apps-10614b65d9361a4a.rlib: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+/root/repo/target/release/deps/libfastiov_apps-10614b65d9361a4a.rmeta: crates/apps/src/lib.rs crates/apps/src/runner.rs crates/apps/src/storage.rs crates/apps/src/workloads/mod.rs crates/apps/src/workloads/bfs.rs crates/apps/src/workloads/compress.rs crates/apps/src/workloads/image.rs crates/apps/src/workloads/inference.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/runner.rs:
+crates/apps/src/storage.rs:
+crates/apps/src/workloads/mod.rs:
+crates/apps/src/workloads/bfs.rs:
+crates/apps/src/workloads/compress.rs:
+crates/apps/src/workloads/image.rs:
+crates/apps/src/workloads/inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastiov_bench-1fb8454dda7ab91c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/fastiov_bench-1fb8454dda7ab91c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

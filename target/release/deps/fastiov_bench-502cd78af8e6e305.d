@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastiov_bench-502cd78af8e6e305.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_bench-502cd78af8e6e305.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_bench-502cd78af8e6e305.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

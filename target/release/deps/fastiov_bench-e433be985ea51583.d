@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastiov_bench-e433be985ea51583.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_bench-e433be985ea51583.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_bench-e433be985ea51583.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

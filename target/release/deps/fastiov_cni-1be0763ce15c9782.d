@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fastiov_cni-1be0763ce15c9782.d: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+/root/repo/target/release/deps/fastiov_cni-1be0763ce15c9782: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+crates/cni/src/lib.rs:
+crates/cni/src/nns.rs:
+crates/cni/src/plugin.rs:
+crates/cni/src/sriovdp.rs:

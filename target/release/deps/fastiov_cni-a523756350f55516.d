@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastiov_cni-a523756350f55516.d: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+/root/repo/target/release/deps/libfastiov_cni-a523756350f55516.rlib: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+/root/repo/target/release/deps/libfastiov_cni-a523756350f55516.rmeta: crates/cni/src/lib.rs crates/cni/src/nns.rs crates/cni/src/plugin.rs crates/cni/src/sriovdp.rs
+
+crates/cni/src/lib.rs:
+crates/cni/src/nns.rs:
+crates/cni/src/plugin.rs:
+crates/cni/src/sriovdp.rs:

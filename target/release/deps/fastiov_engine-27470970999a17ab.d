@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fastiov_engine-27470970999a17ab.d: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs
+
+/root/repo/target/release/deps/fastiov_engine-27470970999a17ab: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cgroup.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/sustain.rs:

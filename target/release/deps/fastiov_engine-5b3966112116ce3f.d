@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fastiov_engine-5b3966112116ce3f.d: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs
+
+/root/repo/target/release/deps/libfastiov_engine-5b3966112116ce3f.rlib: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs
+
+/root/repo/target/release/deps/libfastiov_engine-5b3966112116ce3f.rmeta: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs crates/engine/src/sustain.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cgroup.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/stats.rs:
+crates/engine/src/sustain.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastiov_engine-be7d238fc270d92b.d: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs
+
+/root/repo/target/release/deps/libfastiov_engine-be7d238fc270d92b.rlib: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs
+
+/root/repo/target/release/deps/libfastiov_engine-be7d238fc270d92b.rmeta: crates/engine/src/lib.rs crates/engine/src/cgroup.rs crates/engine/src/engine.rs crates/engine/src/stats.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cgroup.rs:
+crates/engine/src/engine.rs:
+crates/engine/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fastiov_hostmem-50bc7383b1b65b82.d: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+/root/repo/target/release/deps/libfastiov_hostmem-50bc7383b1b65b82.rlib: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+/root/repo/target/release/deps/libfastiov_hostmem-50bc7383b1b65b82.rmeta: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+crates/hostmem/src/lib.rs:
+crates/hostmem/src/addr.rs:
+crates/hostmem/src/alloc.rs:
+crates/hostmem/src/content.rs:
+crates/hostmem/src/mmu.rs:

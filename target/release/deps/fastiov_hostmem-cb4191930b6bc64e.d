@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fastiov_hostmem-cb4191930b6bc64e.d: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+/root/repo/target/release/deps/fastiov_hostmem-cb4191930b6bc64e: crates/hostmem/src/lib.rs crates/hostmem/src/addr.rs crates/hostmem/src/alloc.rs crates/hostmem/src/content.rs crates/hostmem/src/mmu.rs
+
+crates/hostmem/src/lib.rs:
+crates/hostmem/src/addr.rs:
+crates/hostmem/src/alloc.rs:
+crates/hostmem/src/content.rs:
+crates/hostmem/src/mmu.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fastiov_iommu-1d78bc68b74fe55e.d: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+/root/repo/target/release/deps/fastiov_iommu-1d78bc68b74fe55e: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/domain.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastiov_iommu-cc051bff4fc32268.d: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+/root/repo/target/release/deps/libfastiov_iommu-cc051bff4fc32268.rlib: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+/root/repo/target/release/deps/libfastiov_iommu-cc051bff4fc32268.rmeta: crates/iommu/src/lib.rs crates/iommu/src/domain.rs crates/iommu/src/iotlb.rs crates/iommu/src/table.rs
+
+crates/iommu/src/lib.rs:
+crates/iommu/src/domain.rs:
+crates/iommu/src/iotlb.rs:
+crates/iommu/src/table.rs:

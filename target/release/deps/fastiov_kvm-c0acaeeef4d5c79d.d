@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastiov_kvm-c0acaeeef4d5c79d.d: crates/kvm/src/lib.rs
+
+/root/repo/target/release/deps/fastiov_kvm-c0acaeeef4d5c79d: crates/kvm/src/lib.rs
+
+crates/kvm/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastiov_kvm-f35cef65572fb998.d: crates/kvm/src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_kvm-f35cef65572fb998.rlib: crates/kvm/src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_kvm-f35cef65572fb998.rmeta: crates/kvm/src/lib.rs
+
+crates/kvm/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fastiov_microvm-30c64977dc606f58.d: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+/root/repo/target/release/deps/libfastiov_microvm-30c64977dc606f58.rlib: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+/root/repo/target/release/deps/libfastiov_microvm-30c64977dc606f58.rmeta: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+crates/microvm/src/lib.rs:
+crates/microvm/src/guest.rs:
+crates/microvm/src/host.rs:
+crates/microvm/src/irq.rs:
+crates/microvm/src/params.rs:
+crates/microvm/src/vm.rs:

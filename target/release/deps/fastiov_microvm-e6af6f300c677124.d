@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastiov_microvm-e6af6f300c677124.d: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+/root/repo/target/release/deps/fastiov_microvm-e6af6f300c677124: crates/microvm/src/lib.rs crates/microvm/src/guest.rs crates/microvm/src/host.rs crates/microvm/src/irq.rs crates/microvm/src/params.rs crates/microvm/src/vm.rs
+
+crates/microvm/src/lib.rs:
+crates/microvm/src/guest.rs:
+crates/microvm/src/host.rs:
+crates/microvm/src/irq.rs:
+crates/microvm/src/params.rs:
+crates/microvm/src/vm.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/fastiov_nic-446220b2952b4d87.d: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+/root/repo/target/release/deps/libfastiov_nic-446220b2952b4d87.rlib: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+/root/repo/target/release/deps/libfastiov_nic-446220b2952b4d87.rmeta: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/dma.rs:
+crates/nic/src/msix.rs:
+crates/nic/src/pf.rs:
+crates/nic/src/tx.rs:
+crates/nic/src/vf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastiov_nic-e8ac5811df08c999.d: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+/root/repo/target/release/deps/fastiov_nic-e8ac5811df08c999: crates/nic/src/lib.rs crates/nic/src/dma.rs crates/nic/src/msix.rs crates/nic/src/pf.rs crates/nic/src/tx.rs crates/nic/src/vf.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/dma.rs:
+crates/nic/src/msix.rs:
+crates/nic/src/pf.rs:
+crates/nic/src/tx.rs:
+crates/nic/src/vf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastiov_pci-30dd96d0a4854695.d: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+/root/repo/target/release/deps/libfastiov_pci-30dd96d0a4854695.rlib: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+/root/repo/target/release/deps/libfastiov_pci-30dd96d0a4854695.rmeta: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+crates/pci/src/lib.rs:
+crates/pci/src/bus.rs:
+crates/pci/src/config.rs:
+crates/pci/src/device.rs:

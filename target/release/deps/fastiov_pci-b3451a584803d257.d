@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fastiov_pci-b3451a584803d257.d: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+/root/repo/target/release/deps/fastiov_pci-b3451a584803d257: crates/pci/src/lib.rs crates/pci/src/bus.rs crates/pci/src/config.rs crates/pci/src/device.rs
+
+crates/pci/src/lib.rs:
+crates/pci/src/bus.rs:
+crates/pci/src/config.rs:
+crates/pci/src/device.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fastiov_pool-69b31d2f6e72a04d.d: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+/root/repo/target/release/deps/libfastiov_pool-69b31d2f6e72a04d.rlib: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+/root/repo/target/release/deps/libfastiov_pool-69b31d2f6e72a04d.rmeta: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:

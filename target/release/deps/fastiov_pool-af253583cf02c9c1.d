@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/fastiov_pool-af253583cf02c9c1.d: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+/root/repo/target/release/deps/fastiov_pool-af253583cf02c9c1: crates/pool/src/lib.rs crates/pool/src/pool.rs
+
+crates/pool/src/lib.rs:
+crates/pool/src/pool.rs:

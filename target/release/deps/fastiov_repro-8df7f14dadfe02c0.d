@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastiov_repro-8df7f14dadfe02c0.d: src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_repro-8df7f14dadfe02c0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_repro-8df7f14dadfe02c0.rmeta: src/lib.rs
+
+src/lib.rs:

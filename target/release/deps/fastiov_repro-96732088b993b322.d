@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastiov_repro-96732088b993b322.d: src/lib.rs
+
+/root/repo/target/release/deps/fastiov_repro-96732088b993b322: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastiov_repro-abd8f4ca71f22ef3.d: src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_repro-abd8f4ca71f22ef3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfastiov_repro-abd8f4ca71f22ef3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fastiov_simtime-05ba2511ec4d9bd2.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/release/deps/fastiov_simtime-05ba2511ec4d9bd2: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/resources.rs:
+crates/simtime/src/semaphore.rs:
+crates/simtime/src/timeline.rs:

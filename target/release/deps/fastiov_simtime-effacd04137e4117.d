@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fastiov_simtime-effacd04137e4117.d: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/release/deps/libfastiov_simtime-effacd04137e4117.rlib: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+/root/repo/target/release/deps/libfastiov_simtime-effacd04137e4117.rmeta: crates/simtime/src/lib.rs crates/simtime/src/clock.rs crates/simtime/src/resources.rs crates/simtime/src/semaphore.rs crates/simtime/src/timeline.rs
+
+crates/simtime/src/lib.rs:
+crates/simtime/src/clock.rs:
+crates/simtime/src/resources.rs:
+crates/simtime/src/semaphore.rs:
+crates/simtime/src/timeline.rs:

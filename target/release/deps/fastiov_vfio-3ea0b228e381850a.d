@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fastiov_vfio-3ea0b228e381850a.d: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+/root/repo/target/release/deps/fastiov_vfio-3ea0b228e381850a: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+crates/vfio/src/lib.rs:
+crates/vfio/src/container.rs:
+crates/vfio/src/devset.rs:
+crates/vfio/src/group.rs:
+crates/vfio/src/locking.rs:

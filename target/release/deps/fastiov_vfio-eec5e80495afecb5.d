@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fastiov_vfio-eec5e80495afecb5.d: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+/root/repo/target/release/deps/libfastiov_vfio-eec5e80495afecb5.rlib: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+/root/repo/target/release/deps/libfastiov_vfio-eec5e80495afecb5.rmeta: crates/vfio/src/lib.rs crates/vfio/src/container.rs crates/vfio/src/devset.rs crates/vfio/src/group.rs crates/vfio/src/locking.rs
+
+crates/vfio/src/lib.rs:
+crates/vfio/src/container.rs:
+crates/vfio/src/devset.rs:
+crates/vfio/src/group.rs:
+crates/vfio/src/locking.rs:

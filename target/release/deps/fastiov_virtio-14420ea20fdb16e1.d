@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fastiov_virtio-14420ea20fdb16e1.d: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+/root/repo/target/release/deps/libfastiov_virtio-14420ea20fdb16e1.rlib: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+/root/repo/target/release/deps/libfastiov_virtio-14420ea20fdb16e1.rmeta: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/fs.rs:
+crates/virtio/src/net.rs:
+crates/virtio/src/vring.rs:

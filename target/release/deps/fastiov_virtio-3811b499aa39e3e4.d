@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fastiov_virtio-3811b499aa39e3e4.d: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+/root/repo/target/release/deps/fastiov_virtio-3811b499aa39e3e4: crates/virtio/src/lib.rs crates/virtio/src/fs.rs crates/virtio/src/net.rs crates/virtio/src/vring.rs
+
+crates/virtio/src/lib.rs:
+crates/virtio/src/fs.rs:
+crates/virtio/src/net.rs:
+crates/virtio/src/vring.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastiovctl-03029d641373c329.d: crates/core/src/bin/fastiovctl.rs
+
+/root/repo/target/release/deps/fastiovctl-03029d641373c329: crates/core/src/bin/fastiovctl.rs
+
+crates/core/src/bin/fastiovctl.rs:

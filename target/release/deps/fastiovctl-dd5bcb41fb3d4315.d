@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastiovctl-dd5bcb41fb3d4315.d: crates/core/src/bin/fastiovctl.rs
+
+/root/repo/target/release/deps/fastiovctl-dd5bcb41fb3d4315: crates/core/src/bin/fastiovctl.rs
+
+crates/core/src/bin/fastiovctl.rs:

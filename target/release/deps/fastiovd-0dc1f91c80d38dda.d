@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fastiovd-0dc1f91c80d38dda.d: crates/fastiovd/src/lib.rs
+
+/root/repo/target/release/deps/libfastiovd-0dc1f91c80d38dda.rlib: crates/fastiovd/src/lib.rs
+
+/root/repo/target/release/deps/libfastiovd-0dc1f91c80d38dda.rmeta: crates/fastiovd/src/lib.rs
+
+crates/fastiovd/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastiovd-1d6517ecc5fbb881.d: crates/fastiovd/src/lib.rs
+
+/root/repo/target/release/deps/fastiovd-1d6517ecc5fbb881: crates/fastiovd/src/lib.rs
+
+crates/fastiovd/src/lib.rs:

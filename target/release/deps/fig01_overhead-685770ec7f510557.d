@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_overhead-685770ec7f510557.d: crates/bench/src/bin/fig01_overhead.rs
+
+/root/repo/target/release/deps/fig01_overhead-685770ec7f510557: crates/bench/src/bin/fig01_overhead.rs
+
+crates/bench/src/bin/fig01_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_overhead-78684e51f4d88b79.d: crates/bench/src/bin/fig01_overhead.rs
+
+/root/repo/target/release/deps/fig01_overhead-78684e51f4d88b79: crates/bench/src/bin/fig01_overhead.rs
+
+crates/bench/src/bin/fig01_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_breakdown-793388f78aa4f3c4.d: crates/bench/src/bin/fig05_breakdown.rs
+
+/root/repo/target/release/deps/fig05_breakdown-793388f78aa4f3c4: crates/bench/src/bin/fig05_breakdown.rs
+
+crates/bench/src/bin/fig05_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig05_breakdown-7cc61e444c7a5c1d.d: crates/bench/src/bin/fig05_breakdown.rs
+
+/root/repo/target/release/deps/fig05_breakdown-7cc61e444c7a5c1d: crates/bench/src/bin/fig05_breakdown.rs
+
+crates/bench/src/bin/fig05_breakdown.rs:

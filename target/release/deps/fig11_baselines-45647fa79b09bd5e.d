@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_baselines-45647fa79b09bd5e.d: crates/bench/src/bin/fig11_baselines.rs
+
+/root/repo/target/release/deps/fig11_baselines-45647fa79b09bd5e: crates/bench/src/bin/fig11_baselines.rs
+
+crates/bench/src/bin/fig11_baselines.rs:

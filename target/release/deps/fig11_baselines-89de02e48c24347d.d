@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_baselines-89de02e48c24347d.d: crates/bench/src/bin/fig11_baselines.rs
+
+/root/repo/target/release/deps/fig11_baselines-89de02e48c24347d: crates/bench/src/bin/fig11_baselines.rs
+
+crates/bench/src/bin/fig11_baselines.rs:

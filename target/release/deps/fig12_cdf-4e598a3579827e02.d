@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_cdf-4e598a3579827e02.d: crates/bench/src/bin/fig12_cdf.rs
+
+/root/repo/target/release/deps/fig12_cdf-4e598a3579827e02: crates/bench/src/bin/fig12_cdf.rs
+
+crates/bench/src/bin/fig12_cdf.rs:

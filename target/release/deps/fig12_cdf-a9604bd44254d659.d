@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_cdf-a9604bd44254d659.d: crates/bench/src/bin/fig12_cdf.rs
+
+/root/repo/target/release/deps/fig12_cdf-a9604bd44254d659: crates/bench/src/bin/fig12_cdf.rs
+
+crates/bench/src/bin/fig12_cdf.rs:

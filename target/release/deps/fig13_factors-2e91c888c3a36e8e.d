@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_factors-2e91c888c3a36e8e.d: crates/bench/src/bin/fig13_factors.rs
+
+/root/repo/target/release/deps/fig13_factors-2e91c888c3a36e8e: crates/bench/src/bin/fig13_factors.rs
+
+crates/bench/src/bin/fig13_factors.rs:

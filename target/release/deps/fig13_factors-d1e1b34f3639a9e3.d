@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_factors-d1e1b34f3639a9e3.d: crates/bench/src/bin/fig13_factors.rs
+
+/root/repo/target/release/deps/fig13_factors-d1e1b34f3639a9e3: crates/bench/src/bin/fig13_factors.rs
+
+crates/bench/src/bin/fig13_factors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_software_cni-1ac6cec1ef9a036e.d: crates/bench/src/bin/fig14_software_cni.rs
+
+/root/repo/target/release/deps/fig14_software_cni-1ac6cec1ef9a036e: crates/bench/src/bin/fig14_software_cni.rs
+
+crates/bench/src/bin/fig14_software_cni.rs:

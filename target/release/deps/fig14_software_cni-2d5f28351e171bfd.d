@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_software_cni-2d5f28351e171bfd.d: crates/bench/src/bin/fig14_software_cni.rs
+
+/root/repo/target/release/deps/fig14_software_cni-2d5f28351e171bfd: crates/bench/src/bin/fig14_software_cni.rs
+
+crates/bench/src/bin/fig14_software_cni.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_serverless-489341e2de5c6dd6.d: crates/bench/src/bin/fig15_serverless.rs
+
+/root/repo/target/release/deps/fig15_serverless-489341e2de5c6dd6: crates/bench/src/bin/fig15_serverless.rs
+
+crates/bench/src/bin/fig15_serverless.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_serverless-c60e145cb5c37213.d: crates/bench/src/bin/fig15_serverless.rs
+
+/root/repo/target/release/deps/fig15_serverless-c60e145cb5c37213: crates/bench/src/bin/fig15_serverless.rs
+
+crates/bench/src/bin/fig15_serverless.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_sweeps-1f369d209a57f292.d: crates/bench/src/bin/fig16_sweeps.rs
+
+/root/repo/target/release/deps/fig16_sweeps-1f369d209a57f292: crates/bench/src/bin/fig16_sweeps.rs
+
+crates/bench/src/bin/fig16_sweeps.rs:

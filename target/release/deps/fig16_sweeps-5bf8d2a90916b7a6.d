@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_sweeps-5bf8d2a90916b7a6.d: crates/bench/src/bin/fig16_sweeps.rs
+
+/root/repo/target/release/deps/fig16_sweeps-5bf8d2a90916b7a6: crates/bench/src/bin/fig16_sweeps.rs
+
+crates/bench/src/bin/fig16_sweeps.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-45312051a0dfa6f2.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-45312051a0dfa6f2: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pool_recycle-3d84f35d7240a20d.d: tests/pool_recycle.rs
+
+/root/repo/target/release/deps/pool_recycle-3d84f35d7240a20d: tests/pool_recycle.rs
+
+tests/pool_recycle.rs:

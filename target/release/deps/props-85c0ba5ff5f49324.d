@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-85c0ba5ff5f49324.d: tests/props.rs
+
+/root/repo/target/release/deps/props-85c0ba5ff5f49324: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-38ba6b03c83ac462.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-38ba6b03c83ac462: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

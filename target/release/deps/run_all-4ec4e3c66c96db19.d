@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run_all-4ec4e3c66c96db19.d: crates/bench/src/bin/run_all.rs
+
+/root/repo/target/release/deps/run_all-4ec4e3c66c96db19: crates/bench/src/bin/run_all.rs
+
+crates/bench/src/bin/run_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec65_memperf-d32ef96c35ebf489.d: crates/bench/src/bin/sec65_memperf.rs
+
+/root/repo/target/release/deps/sec65_memperf-d32ef96c35ebf489: crates/bench/src/bin/sec65_memperf.rs
+
+crates/bench/src/bin/sec65_memperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec65_memperf-f9e850b7676fc641.d: crates/bench/src/bin/sec65_memperf.rs
+
+/root/repo/target/release/deps/sec65_memperf-f9e850b7676fc641: crates/bench/src/bin/sec65_memperf.rs
+
+crates/bench/src/bin/sec65_memperf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/lock_framework-b160d63d5a59e837.d: examples/lock_framework.rs
+
+/root/repo/target/release/examples/lock_framework-b160d63d5a59e837: examples/lock_framework.rs
+
+examples/lock_framework.rs:

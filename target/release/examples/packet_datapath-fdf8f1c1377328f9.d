@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/packet_datapath-fdf8f1c1377328f9.d: examples/packet_datapath.rs
+
+/root/repo/target/release/examples/packet_datapath-fdf8f1c1377328f9: examples/packet_datapath.rs
+
+examples/packet_datapath.rs:

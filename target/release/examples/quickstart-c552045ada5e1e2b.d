@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c552045ada5e1e2b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c552045ada5e1e2b: examples/quickstart.rs
+
+examples/quickstart.rs:

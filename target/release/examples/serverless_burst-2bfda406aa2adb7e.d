@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serverless_burst-2bfda406aa2adb7e.d: examples/serverless_burst.rs
+
+/root/repo/target/release/examples/serverless_burst-2bfda406aa2adb7e: examples/serverless_burst.rs
+
+examples/serverless_burst.rs:

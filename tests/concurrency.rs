@@ -39,6 +39,7 @@ fn sequential_waves_reuse_all_resources() {
     for wave in 0..3 {
         let pods: Vec<_> = engine
             .launch_concurrent(8)
+            .pods
             .into_iter()
             .map(|r| r.unwrap_or_else(|e| panic!("wave {wave}: {e}")))
             .collect();
@@ -63,6 +64,7 @@ fn concurrency_up_to_vf_count_succeeds() {
     // for_tests() creates 16 VFs; use all of them at once.
     let pods: Vec<_> = engine
         .launch_concurrent(16)
+        .pods
         .into_iter()
         .collect::<Result<_, _>>()
         .unwrap();
@@ -86,6 +88,7 @@ fn vanilla_and_fastiov_engines_share_one_host_sequentially() {
     let van = engine_on(&host, false);
     let fast_pods: Vec<_> = fast
         .launch_concurrent(4)
+        .pods
         .into_iter()
         .collect::<Result<_, _>>()
         .unwrap();
@@ -95,6 +98,7 @@ fn vanilla_and_fastiov_engines_share_one_host_sequentially() {
     assert_eq!(host.fastiovd.stats().tracked, 0);
     let van_pods: Vec<_> = van
         .launch_concurrent(4)
+        .pods
         .into_iter()
         .collect::<Result<_, _>>()
         .unwrap();

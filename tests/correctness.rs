@@ -50,8 +50,7 @@ fn guest_never_observes_previous_tenant_data() {
     for p in kernel_pages..(64 * MB / page) {
         // Skip pages the guest legitimately wrote (rings, rx buffers).
         let gpa = Gpa(p * page);
-        if gpa == layout.virtiofs_ring_gpa || gpa == layout.net_ring_gpa || gpa == layout.rx_gpa
-        {
+        if gpa == layout.virtiofs_ring_gpa || gpa == layout.net_ring_gpa || gpa == layout.rx_gpa {
             continue;
         }
         b.vm().read_gpa(gpa, &mut buf).unwrap();
@@ -74,9 +73,17 @@ fn disabling_instant_zero_list_crashes_the_guest() {
         ..MicrovmConfig::fastiov(3, 64 * MB, 32 * MB)
     };
     let mut log = StageLog::begin(host.clock.clone());
-    match Microvm::launch(&host, cfg, NetworkAttachment::Passthrough(VfId(2)), &mut log) {
+    match Microvm::launch(
+        &host,
+        cfg,
+        NetworkAttachment::Passthrough(VfId(2)),
+        &mut log,
+    ) {
         Err(VmmError::GuestCrash { detail }) => {
-            assert!(detail.contains("kernel"), "unexpected crash detail: {detail}")
+            assert!(
+                detail.contains("kernel"),
+                "unexpected crash detail: {detail}"
+            )
         }
         Err(other) => panic!("wrong failure: {other}"),
         Ok(_) => panic!("guest survived without the instant-zeroing list"),
@@ -133,7 +140,9 @@ fn nic_dma_survives_decoupled_zeroing() {
     host.dma.deliver(VfId(5), &pkt).unwrap();
     let c = host.dma.wait_rx(VfId(5)).unwrap();
     let mut got = vec![0u8; c.written];
-    vm.vm().read_gpa(Gpa(c.buffer.iova.raw()), &mut got).unwrap();
+    vm.vm()
+        .read_gpa(Gpa(c.buffer.iova.raw()), &mut got)
+        .unwrap();
     assert_eq!(got, pkt);
     vm.shutdown().unwrap();
 }

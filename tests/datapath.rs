@@ -18,8 +18,13 @@ fn host() -> Arc<Host> {
 
 fn launch(host: &Arc<Host>, pid: u64, net: NetworkAttachment) -> Arc<Microvm> {
     let mut log = StageLog::begin(host.clock.clone());
-    let vm = Microvm::launch(host, MicrovmConfig::fastiov(pid, 64 * MB, 32 * MB), net, &mut log)
-        .unwrap();
+    let vm = Microvm::launch(
+        host,
+        MicrovmConfig::fastiov(pid, 64 * MB, 32 * MB),
+        net,
+        &mut log,
+    )
+    .unwrap();
     vm.wait_net_ready().unwrap();
     vm
 }
@@ -41,9 +46,13 @@ fn dma_is_isolated_between_tenants() {
     assert_eq!(ca.buffer.iova, cb.buffer.iova);
 
     let mut got_a = vec![0u8; 128];
-    a.vm().read_gpa(Gpa(ca.buffer.iova.raw()), &mut got_a).unwrap();
+    a.vm()
+        .read_gpa(Gpa(ca.buffer.iova.raw()), &mut got_a)
+        .unwrap();
     let mut got_b = vec![0u8; 128];
-    b.vm().read_gpa(Gpa(cb.buffer.iova.raw()), &mut got_b).unwrap();
+    b.vm()
+        .read_gpa(Gpa(cb.buffer.iova.raw()), &mut got_b)
+        .unwrap();
     assert_eq!(got_a, pkt_a, "tenant A sees its own packet");
     assert_eq!(got_b, pkt_b, "tenant B sees its own packet");
 
@@ -120,7 +129,13 @@ fn iommu_blocks_dma_outside_guest_mappings() {
 fn concurrent_packet_streams_do_not_interleave_wrongly() {
     let host = host();
     let vms: Vec<Arc<Microvm>> = (0..4)
-        .map(|i| launch(&host, 10 + i, NetworkAttachment::Passthrough(VfId(6 + i as u16))))
+        .map(|i| {
+            launch(
+                &host,
+                10 + i,
+                NetworkAttachment::Passthrough(VfId(6 + i as u16)),
+            )
+        })
         .collect();
     let handles: Vec<_> = vms
         .iter()
@@ -136,7 +151,9 @@ fn concurrent_packet_streams_do_not_interleave_wrongly() {
                     host.dma.deliver(vf, &pkt).unwrap();
                     let c = host.dma.wait_rx(vf).unwrap();
                     let mut got = vec![0u8; c.written];
-                    vm.vm().read_gpa(Gpa(c.buffer.iova.raw()), &mut got).unwrap();
+                    vm.vm()
+                        .read_gpa(Gpa(c.buffer.iova.raw()), &mut got)
+                        .unwrap();
                     assert_eq!(got, pkt, "stream {i} round {round}");
                     host.dma
                         .post_rx_buffer(vf, c.buffer.iova, c.buffer.len)

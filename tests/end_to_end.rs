@@ -115,16 +115,19 @@ fn ipvtap_records_addcni_and_no_vf_stages() {
 
 #[test]
 fn original_cni_is_slower_than_fixed_cni() {
-    let original = timed(Baseline::VanillaOriginal, 6);
-    let fixed = timed(Baseline::Vanilla, 6);
+    // Scheduling noise under load is strictly additive on the scaled
+    // clock, so the minimum over a few runs isolates the modelled cost.
+    let best = |b: Baseline| {
+        (0..3)
+            .map(|_| timed(b, 6).total.mean)
+            .min()
+            .expect("three runs")
+    };
+    let original = best(Baseline::VanillaOriginal);
+    let fixed = best(Baseline::Vanilla);
     // Binding to the host driver and rebinding to VFIO every launch costs
     // strictly more than the pre-bound flow (§5).
-    assert!(
-        original.total.mean > fixed.total.mean,
-        "original {:?} vs fixed {:?}",
-        original.total.mean,
-        fixed.total.mean
-    );
+    assert!(original > fixed, "original {original:?} vs fixed {fixed:?}");
 }
 
 #[test]

@@ -61,8 +61,13 @@ fn host_memory_exhaustion_fails_launch_not_host() {
     // A guest that fits still launches afterwards.
     let mut log = StageLog::begin(host.clock.clone());
     let cfg = MicrovmConfig::vanilla(2, mib(64), mib(16));
-    let vm = Microvm::launch(&host, cfg, NetworkAttachment::Passthrough(VfId(1)), &mut log)
-        .unwrap();
+    let vm = Microvm::launch(
+        &host,
+        cfg,
+        NetworkAttachment::Passthrough(VfId(1)),
+        &mut log,
+    )
+    .unwrap();
     vm.wait_net_ready().unwrap();
     vm.shutdown().unwrap();
     assert_eq!(host.mem.stats().free_frames, free0);
