@@ -69,7 +69,7 @@ fn dma_map(c: &mut Criterion) {
         b.iter_batched(
             || setup(false),
             |(_, container)| {
-                let register = |_pid: u64, _r: &[FrameRange]| {};
+                let register = |_pid: u64, _r: &[FrameRange]| true;
                 let hva = container.address_space().mmap("ram", pages * PAGE).unwrap();
                 container
                     .dma_map(

@@ -18,14 +18,17 @@ pub struct HarnessOpts {
     pub scale: f64,
     /// Concurrency override (figure-specific default when `None`).
     pub conc: Option<u32>,
+    /// Seed for fault injection and deterministic jitter (`--seed`).
+    pub seed: u64,
 }
 
 impl HarnessOpts {
-    /// Parses `--scale` / `--conc` from `std::env::args`.
+    /// Parses `--scale` / `--conc` / `--seed` from `std::env::args`.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts {
             scale: 0.02,
             conc: None,
+            seed: 1,
         };
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -37,6 +40,10 @@ impl HarnessOpts {
                 }
                 "--conc" if i + 1 < args.len() => {
                     opts.conc = Some(args[i + 1].parse().expect("--conc takes an integer"));
+                    i += 2;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().expect("--seed takes an integer");
                     i += 2;
                 }
                 _ => i += 1,

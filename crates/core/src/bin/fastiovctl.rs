@@ -7,8 +7,12 @@
 //! fastiovctl compare --conc 200            # no-net vs vanilla vs fastiov
 //! fastiovctl app --app image --baseline vanilla --conc 50
 //! fastiovctl pool --capacity 16 --pods 32 [--rate 20] [--scale 0.002]
+//! fastiovctl faults --baseline pool16 --conc 50 [--rate 0.01] [--seed 1]
 //! fastiovctl memperf
 //! ```
+//!
+//! Failed experiments exit with the stable code of their error class
+//! (see [`fastiov::Error::exit_code`]); `0` always means success.
 
 use fastiov::apps::AppKind;
 use fastiov::engine::cdf_points;
@@ -94,8 +98,18 @@ fn config(flags: &HashMap<String, String>, baseline: Baseline) -> ExperimentConf
     cfg
 }
 
-fn print_startup(cfg: &ExperimentConfig, cdf: bool) {
-    let run = run_startup_experiment(cfg).expect("startup experiment");
+/// Reports a failed experiment and translates it into the stable exit
+/// code of its error class.
+fn fail(e: &fastiov::Error) -> ExitCode {
+    eprintln!("fastiovctl: {e}");
+    ExitCode::from(e.exit_code().clamp(1, 255) as u8)
+}
+
+fn print_startup(cfg: &ExperimentConfig, cdf: bool) -> ExitCode {
+    let run = match run_startup_experiment(cfg) {
+        Ok(run) => run,
+        Err(e) => return fail(&e),
+    };
     let mut t = Table::new(vec!["metric", "value"]);
     t.row(vec!["baseline".to_string(), run.baseline.label()]);
     t.row(vec![
@@ -131,6 +145,7 @@ fn print_startup(cfg: &ExperimentConfig, cdf: bool) {
             println!("{x:.3},{y:.4}");
         }
     }
+    ExitCode::SUCCESS
 }
 
 fn usage() -> ExitCode {
@@ -139,7 +154,8 @@ fn usage() -> ExitCode {
          [--scale F] [--ram-mb M] [--image-mb M] [--cdf]\n  fastiovctl compare [--conc N] \
          [--scale F]\n  fastiovctl app --app <image|compression|scientific|inference> \
          --baseline <name> [--conc N]\n  fastiovctl pool [--capacity N] [--pods N] \
-         [--rate F] [--hold-ms M] [--scale F]\n  fastiovctl memperf [--scale F]"
+         [--rate F] [--hold-ms M] [--scale F]\n  fastiovctl faults [--baseline <name>] \
+         [--conc N] [--rate F] [--seed N] [--scale F]\n  fastiovctl memperf [--scale F]"
     );
     ExitCode::FAILURE
 }
@@ -179,13 +195,15 @@ fn main() -> ExitCode {
                 eprintln!("--baseline required (see `fastiovctl baselines`)");
                 return ExitCode::FAILURE;
             };
-            print_startup(&config(&flags, b), flags.contains_key("cdf"));
-            ExitCode::SUCCESS
+            print_startup(&config(&flags, b), flags.contains_key("cdf"))
         }
         "compare" => {
             let mut t = Table::new(vec!["baseline", "avg (s)", "p99 (s)", "vf-related (s)"]);
             for b in [Baseline::NoNet, Baseline::Vanilla, Baseline::FastIov] {
-                let run = run_startup_experiment(&config(&flags, b)).expect("run");
+                let run = match run_startup_experiment(&config(&flags, b)) {
+                    Ok(run) => run,
+                    Err(e) => return fail(&e),
+                };
                 t.row(vec![
                     run.baseline.label(),
                     format!("{:.2}", run.total.mean_secs()),
@@ -205,7 +223,10 @@ fn main() -> ExitCode {
                 eprintln!("--app required (image|compression|scientific|inference)");
                 return ExitCode::FAILURE;
             };
-            let run = run_app_experiment(&config(&flags, b), app).expect("app run");
+            let run = match run_app_experiment(&config(&flags, b), app) {
+                Ok(run) => run,
+                Err(e) => return fail(&e),
+            };
             println!(
                 "{} × {} on {}: avg completion {:.2}s, p99 {:.2}s",
                 app.name(),
@@ -239,7 +260,10 @@ fn main() -> ExitCode {
                 // to a finer scale than burst measurements.
                 cfg.host = fastiov::microvm::HostParams::paper_scaled(0.002);
             }
-            let (_host, engine) = cfg.build().expect("build");
+            let (_host, engine) = match cfg.build() {
+                Ok(built) => built,
+                Err(e) => return fail(&e),
+            };
             let pool = std::sync::Arc::clone(engine.pool().expect("pool"));
             let outcome = engine.run_sustained(fastiov::engine::SustainedConfig {
                 total: pods,
@@ -286,11 +310,86 @@ fn main() -> ExitCode {
             println!("{}", t.render());
             ExitCode::SUCCESS
         }
+        "faults" => {
+            let b = match flags.get("baseline") {
+                Some(name) => match baseline_from(name) {
+                    Some(b) => b,
+                    None => {
+                        eprintln!("unknown baseline {name} (see `fastiovctl baselines`)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => Baseline::FastIov,
+            };
+            let rate: f64 = flags
+                .get("rate")
+                .map(|v| v.parse().expect("--rate takes a float"))
+                .unwrap_or(0.01);
+            let seed: u64 = flags
+                .get("seed")
+                .map(|v| v.parse().expect("--seed takes an integer"))
+                .unwrap_or(1);
+            let mut cfg = config(&flags, b);
+            cfg.faults = fastiov::faults::FaultConfig::uniform(seed, rate);
+            cfg.pool_watermark = Some(0);
+            let (host, engine) = match cfg.build() {
+                Ok(built) => built,
+                Err(e) => return fail(&e),
+            };
+            let outcome = engine.launch_concurrent(cfg.concurrency);
+            for pod in outcome.pods.iter().flatten() {
+                let _ = engine.teardown_pod(pod);
+            }
+            if let Some(pool) = engine.pool() {
+                pool.wait_idle();
+            }
+            let summary = &outcome.summary;
+            println!(
+                "baseline {}  seed {seed}  per-site rate {rate}\n\
+                 launched {}/{}  failure classes: {}",
+                b.label(),
+                summary.succeeded,
+                summary.total(),
+                if summary.classes.is_empty() {
+                    "-".to_string()
+                } else {
+                    summary
+                        .classes
+                        .iter()
+                        .map(|(c, n)| format!("{c}={n}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                }
+            );
+            let mut t = Table::new(vec![
+                "site",
+                "checks",
+                "errors",
+                "delays",
+                "retries",
+                "fallbacks",
+            ]);
+            for (site, s) in host.faults.report() {
+                t.row(vec![
+                    site.to_string(),
+                    s.checks.to_string(),
+                    s.errors.to_string(),
+                    s.delays.to_string(),
+                    s.retries.to_string(),
+                    s.fallbacks.to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
         "memperf" => {
             let base = config(&flags, Baseline::Vanilla);
             let sweep = mib(32);
             for b in [Baseline::Vanilla, Baseline::FastIov] {
-                let r = run_memperf(b, &base, sweep, 3, 5_000).expect("memperf");
+                let r = match run_memperf(b, &base, sweep, 3, 5_000) {
+                    Ok(r) => r,
+                    Err(e) => return fail(&e),
+                };
                 println!(
                     "{:<8} cold {:>7.2}ms steady {:>7.2}ms random {:>6.3}ms (faults {}, lazily zeroed {})",
                     r.baseline.label(),

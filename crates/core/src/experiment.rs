@@ -4,6 +4,7 @@ use crate::baseline::Baseline;
 use crate::{Error, Result};
 use fastiov_apps::{run_serverless_task, AppKind, StorageServer, TaskResult};
 use fastiov_engine::{Engine, EngineParams, StartupReport, Summary};
+use fastiov_faults::FaultConfig;
 use fastiov_hostmem::addr::units::mib;
 use fastiov_microvm::{stages, Host, HostParams};
 use fastiov_pool::{PoolParams, WarmPool};
@@ -28,6 +29,14 @@ pub struct ExperimentConfig {
     pub host: HostParams,
     /// Engine parameter set.
     pub engine: EngineParams,
+    /// Fault-injection configuration (disabled by default). When enabled,
+    /// the engine's recovery jitter is re-seeded from the fault seed so a
+    /// single seed reproduces the entire run.
+    pub faults: FaultConfig,
+    /// Overrides the warm pool's low watermark ([`Baseline::WarmPool`]
+    /// only). `Some(0)` disables claim-time replenish nudges, which keeps
+    /// background provisioning out of deterministic fault sweeps.
+    pub pool_watermark: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -42,6 +51,8 @@ impl ExperimentConfig {
             vcpus: 0.5,
             host: HostParams::paper(),
             engine: EngineParams::paper(),
+            faults: FaultConfig::disabled(),
+            pool_watermark: None,
         }
     }
 
@@ -65,6 +76,8 @@ impl ExperimentConfig {
             vcpus: 0.5,
             host: HostParams::for_tests(),
             engine: EngineParams::paper(),
+            faults: FaultConfig::disabled(),
+            pool_watermark: None,
         }
     }
 
@@ -73,8 +86,12 @@ impl ExperimentConfig {
     /// the CNI plugin's VF provider — and prefills it before any pod
     /// arrives.
     pub fn build(&self) -> Result<(Arc<Host>, Arc<Engine>)> {
-        let host =
-            Host::new(self.host.clone(), self.baseline.lock_policy()).map_err(Error::Host)?;
+        let host = Host::with_faults(
+            self.host.clone(),
+            self.baseline.lock_policy(),
+            self.faults.build(),
+        )
+        .map_err(Error::Host)?;
         let frac = self.baseline.prezero_fraction();
         if frac > 0.0 {
             host.mem.prezero_pass(frac);
@@ -85,19 +102,23 @@ impl ExperimentConfig {
             .map_err(Error::Host)?;
         let pool = match (self.baseline.pool_capacity(), provider) {
             (Some(capacity), Some(vfs)) => {
-                let pool = WarmPool::new(
-                    Arc::clone(&host),
-                    vfs,
-                    PoolParams::new(capacity, self.ram_bytes, self.image_bytes),
-                );
+                let mut params = PoolParams::new(capacity, self.ram_bytes, self.image_bytes);
+                if let Some(watermark) = self.pool_watermark {
+                    params.low_watermark = watermark;
+                }
+                let pool = WarmPool::new(Arc::clone(&host), vfs, params);
                 pool.prefill();
                 Some(pool)
             }
             _ => None,
         };
+        let mut engine_params = self.engine;
+        if !self.faults.is_disabled() {
+            engine_params.recovery.seed = self.faults.seed;
+        }
         let engine = Engine::with_pool(
             Arc::clone(&host),
-            self.engine,
+            engine_params,
             networking,
             self.baseline.vm_options(self.ram_bytes, self.image_bytes),
             pool,

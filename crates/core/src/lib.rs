@@ -50,6 +50,7 @@ pub use report::{format_table, fraction_pct, render_gantt, GanttRow, Table};
 pub use fastiov_apps as apps;
 pub use fastiov_cni as cni;
 pub use fastiov_engine as engine;
+pub use fastiov_faults as faults;
 pub use fastiov_hostmem as hostmem;
 pub use fastiov_iommu as iommu;
 pub use fastiov_kvm as kvm;
@@ -70,11 +71,25 @@ pub enum Error {
     /// Host construction failed.
     Host(fastiov_microvm::VmmError),
     /// A container startup failed.
-    Startup(fastiov_engine::EngineError),
+    Startup(fastiov_engine::LaunchError),
     /// A serverless task failed.
     App(fastiov_apps::AppError),
     /// The run produced no samples.
     Empty,
+}
+
+impl Error {
+    /// Stable process exit code for CLI surfaces (`0` means success).
+    /// Startup failures carry the [`fastiov_engine::LaunchError`] code;
+    /// the other classes get codes of their own.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            Error::Startup(e) => e.exit_code(),
+            Error::Host(_) => 21,
+            Error::App(_) => 22,
+            Error::Empty => 23,
+        }
+    }
 }
 
 impl fmt::Display for Error {

@@ -1,8 +1,10 @@
 //! Pod lifecycle and the concurrent launcher.
 
 use crate::cgroup::CgroupManager;
-use crate::{EngineError, Result};
+use crate::recovery::RecoveryPolicy;
+use crate::{LaunchError, Result};
 use fastiov_cni::{CniPlugin, CniResult, NnsRegistry, PodNetSpec, RtnlLock};
+use fastiov_faults::sites;
 use fastiov_microvm::{stages, Host, Microvm, MicrovmConfig, NetworkAttachment, ZeroingMode};
 use fastiov_pool::{WarmPool, WarmVm};
 use fastiov_simtime::{SimInstant, StageLog, StageRecord};
@@ -30,6 +32,8 @@ pub struct EngineParams {
     /// simultaneous" arrivals of §3.1 (and keeps 200 simulation threads
     /// from herding on one physical core).
     pub launch_spread: Duration,
+    /// Retry, backoff, and stage-timeout policy of the recovery layer.
+    pub recovery: RecoveryPolicy,
 }
 
 impl EngineParams {
@@ -43,6 +47,7 @@ impl EngineParams {
             ip_hold: Duration::from_millis(2),
             sandbox_overhead: Duration::from_millis(150),
             launch_spread: Duration::from_millis(200),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -168,29 +173,30 @@ pub struct LaunchSummary {
     pub failed: usize,
     /// First error detail per failure class, in first-seen order.
     pub first_errors: Vec<(&'static str, String)>,
+    /// Failure count per class, sorted by class name — deterministic
+    /// regardless of thread interleaving, unlike `first_errors` order.
+    pub classes: Vec<(&'static str, usize)>,
 }
 
 impl LaunchSummary {
     /// Classifies a wave of per-pod results.
     pub fn from_results<T>(results: &[Result<T>]) -> Self {
         let mut summary = LaunchSummary::default();
+        let mut classes = std::collections::BTreeMap::new();
         for r in results {
             match r {
                 Ok(_) => summary.succeeded += 1,
                 Err(e) => {
                     summary.failed += 1;
-                    let class = match e {
-                        EngineError::Cni(_) => "cni",
-                        EngineError::Vmm(_) => "vmm",
-                        EngineError::InterfaceMissing(_) => "interface-missing",
-                        EngineError::LaunchPanic => "launch-panic",
-                    };
+                    let class = e.class();
+                    *classes.entry(class).or_insert(0usize) += 1;
                     if !summary.first_errors.iter().any(|(c, _)| *c == class) {
                         summary.first_errors.push((class, e.to_string()));
                     }
                 }
             }
         }
+        summary.classes = classes.into_iter().collect();
         summary
     }
 
@@ -302,15 +308,95 @@ impl Engine {
 
     /// Starts one pod end to end (Fig. 4) and returns its handle. With a
     /// warm pool configured, claims a pre-launched microVM when one is
-    /// available and pays only per-pod identity work.
+    /// available and pays only per-pod identity work; a claim the fault
+    /// plane marks unhealthy is evicted and the pod degrades to the cold
+    /// path. Cold launches run under the recovery policy: transient
+    /// failures retry with deterministic backoff, stages that exceed the
+    /// configured timeout fail the attempt.
     pub fn run_pod(&self, index: u32) -> Result<PodHandle> {
         if let Some(pool) = &self.pool {
-            if let Some(warm) = pool.claim() {
+            if let Some(mut warm) = pool.claim() {
+                let pid = 1000 + u64::from(index);
+                // Health check of the claimed VM. Keyed by the claiming
+                // pod, not the pool VM: pod identity is stable across
+                // runs, pod-to-VM assignment order is not.
+                if self.host.faults.is_enabled() {
+                    if let Err(_unhealthy) =
+                        self.host
+                            .faults
+                            .check(sites::WARM_CLAIM, pid, &self.host.clock)
+                    {
+                        self.host.faults.note_fallback(sites::WARM_CLAIM);
+                        pool.evict(warm);
+                        return self.run_pod_cold_recovering(index);
+                    }
+                }
+                warm.tenant = Some(pid);
                 return self.run_pod_warm(index, warm);
             }
             // Pool exhausted: degrade gracefully to the cold path.
         }
-        self.run_pod_cold(index)
+        self.run_pod_cold_recovering(index)
+    }
+
+    /// The cold path under the recovery policy: bounded retries with
+    /// deterministic exponential backoff for transient errors, plus
+    /// post-hoc stage-timeout enforcement.
+    fn run_pod_cold_recovering(&self, index: u32) -> Result<PodHandle> {
+        let policy = self.params.recovery;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = self
+                .run_pod_cold(index)
+                .and_then(|pod| self.enforce_stage_timeouts(pod));
+            match result {
+                Ok(pod) => return Ok(pod),
+                Err(e) if attempt < policy.max_attempts.max(1) && e.is_retryable() => {
+                    if self.host.faults.is_enabled() {
+                        self.host.faults.note_retry(e.retry_site());
+                    }
+                    self.host.clock.sleep(policy.backoff(attempt, index));
+                }
+                Err(e) => {
+                    return Err(if attempt > 1 {
+                        LaunchError::RetriesExhausted {
+                            attempts: attempt,
+                            last: Box::new(e),
+                        }
+                    } else {
+                        e
+                    });
+                }
+            }
+        }
+    }
+
+    /// Fails a freshly launched pod whose slowest stage ran past the
+    /// policy limit, tearing it down first. The timeout is enforced after
+    /// the fact — the simulation records true stage durations, so a
+    /// post-hoc check is exact where an in-flight watchdog would race.
+    fn enforce_stage_timeouts(&self, pod: PodHandle) -> Result<PodHandle> {
+        let Some(limit) = self.params.recovery.stage_timeout else {
+            return Ok(pod);
+        };
+        let slow = pod
+            .report
+            .records
+            .iter()
+            .find(|r| r.duration() > limit)
+            .map(|r| (r.name.clone(), r.duration()));
+        match slow {
+            None => Ok(pod),
+            Some((stage, elapsed)) => {
+                let _ = self.teardown_pod(&pod);
+                Err(LaunchError::StageTimeout {
+                    stage,
+                    elapsed,
+                    limit,
+                })
+            }
+        }
     }
 
     /// The warm fast path: no DMA mapping, no VFIO open, no boot — the
@@ -332,14 +418,14 @@ impl Engine {
             // Rewrite the VF's MAC/VLAN for the new tenant through the PF.
             warm.vm
                 .reconfigure_identity(index)
-                .map_err(EngineError::Vmm)?;
+                .map_err(LaunchError::Vmm)?;
             Ok(())
         });
         let claimed = claimed.and_then(|()| {
             if nns.has_interface(&warm.netdev) {
                 Ok(())
             } else {
-                Err(EngineError::InterfaceMissing(warm.netdev.0.clone()))
+                Err(LaunchError::InterfaceMissing(warm.netdev.0.clone()))
             }
         });
         if let Err(e) = claimed {
@@ -395,7 +481,7 @@ impl Engine {
             | PodNetworking::Vdpa(plugin) => Some(
                 plugin
                     .setup(&self.host, &spec, &nns, &self.nns, &mut log)
-                    .map_err(EngineError::Cni)?,
+                    .map_err(LaunchError::Cni)?,
             ),
         };
 
@@ -405,7 +491,7 @@ impl Engine {
             None => NetworkAttachment::None,
             Some(CniResult::Software { netdev, .. }) => {
                 if !nns.has_interface(netdev) {
-                    return Err(EngineError::InterfaceMissing(netdev.0.clone()));
+                    return Err(LaunchError::InterfaceMissing(netdev.0.clone()));
                 }
                 NetworkAttachment::SoftwareVirtio
             }
@@ -416,7 +502,7 @@ impl Engine {
                 ..
             }) => {
                 if !nns.has_interface(netdev) {
-                    return Err(EngineError::InterfaceMissing(netdev.0.clone()));
+                    return Err(LaunchError::InterfaceMissing(netdev.0.clone()));
                 }
                 if *needs_host_rebind {
                     // The original plugin's flaw: unbind the host network
@@ -424,22 +510,22 @@ impl Engine {
                     self.host
                         .pf
                         .unbind_host_driver(*vf)
-                        .map_err(|e| EngineError::Cni(e.into()))?;
+                        .map_err(|e| LaunchError::Cni(e.into()))?;
                     self.host
                         .pf
                         .bind_vfio(*vf)
-                        .map_err(|e| EngineError::Cni(e.into()))?;
+                        .map_err(|e| LaunchError::Cni(e.into()))?;
                     let pci = Arc::clone(
                         self.host
                             .pf
                             .vf(*vf)
-                            .map_err(|e| EngineError::Cni(e.into()))?
+                            .map_err(|e| LaunchError::Cni(e.into()))?
                             .pci(),
                     );
                     self.host
                         .vfio
                         .register(pci)
-                        .map_err(|e| EngineError::Cni(e.into()))?;
+                        .map_err(|e| LaunchError::Cni(e.into()))?;
                 }
                 if matches!(self.networking, PodNetworking::Vdpa(_)) {
                     NetworkAttachment::Vdpa(*vf)
@@ -493,7 +579,7 @@ impl Engine {
                 }
                 let _ = self.nns.destroy(pid);
                 self.cgroups.remove(pid);
-                return Err(EngineError::Vmm(e));
+                return Err(LaunchError::Vmm(e));
             }
         };
 
@@ -522,13 +608,14 @@ impl Engine {
         if let (Some(pool_pid), Some(pool)) = (pod.pool_pid, &self.pool) {
             if let Some(CniResult::Passthrough { vf, netdev, .. }) = &pod.cni {
                 let pid = 1000 + pod.index as u64;
-                self.nns.destroy(pid).map_err(EngineError::Cni)?;
+                self.nns.destroy(pid).map_err(LaunchError::Cni)?;
                 self.cgroups.remove(pid);
                 pool.recycle(WarmVm {
                     vm: Arc::clone(&pod.vm),
                     vf: *vf,
                     netdev: netdev.clone(),
                     pool_pid,
+                    tenant: Some(pid),
                 });
                 return Ok(());
             }
@@ -543,10 +630,10 @@ impl Engine {
         {
             plugin
                 .teardown(&self.host, result)
-                .map_err(EngineError::Cni)?;
+                .map_err(LaunchError::Cni)?;
         }
         let pid = 1000 + pod.index as u64;
-        self.nns.destroy(pid).map_err(EngineError::Cni)?;
+        self.nns.destroy(pid).map_err(LaunchError::Cni)?;
         self.cgroups.remove(pid);
         Ok(())
     }
@@ -569,7 +656,7 @@ impl Engine {
             .collect();
         let pods: Vec<Result<PodHandle>> = handles
             .into_iter()
-            .map(|h| h.join().unwrap_or(Err(EngineError::LaunchPanic)))
+            .map(|h| h.join().unwrap_or(Err(LaunchError::LaunchPanic)))
             .collect();
         let summary = LaunchSummary::from_results(&pods);
         LaunchOutcome { pods, summary }
@@ -801,10 +888,10 @@ mod tests {
     fn launch_summary_classifies_results() {
         let results: Vec<Result<()>> = vec![
             Ok(()),
-            Err(EngineError::LaunchPanic),
+            Err(LaunchError::LaunchPanic),
             Ok(()),
-            Err(EngineError::InterfaceMissing("eth9".into())),
-            Err(EngineError::LaunchPanic),
+            Err(LaunchError::InterfaceMissing("eth9".into())),
+            Err(LaunchError::LaunchPanic),
         ];
         let s = LaunchSummary::from_results(&results);
         assert_eq!(s.succeeded, 2);

@@ -1,4 +1,4 @@
-//! The container engine: pod lifecycle and concurrent startup.
+//! The container engine: pod lifecycle, concurrent startup, recovery.
 //!
 //! Mirrors the Containerd/Kata split of Fig. 4: the engine creates the
 //! cgroup and network namespace, invokes the CNI plugin (`t_config`), and
@@ -7,11 +7,17 @@
 //! paper's measurement methodology (§3.1): `crictl`-style simultaneous
 //! creation of N secure containers, each on its own thread, with
 //! per-stage timelines collected asynchronously.
+//!
+//! Failures are typed ([`LaunchError`]) and classified: transient faults
+//! (injected by the fault plane) are retried under a deterministic
+//! [`recovery::RecoveryPolicy`]; everything else fails the pod with a
+//! stable error class and exit code.
 
 #![warn(missing_docs)]
 
 pub mod cgroup;
 pub mod engine;
+pub mod recovery;
 pub mod stats;
 pub mod sustain;
 
@@ -20,16 +26,20 @@ pub use engine::{
     Engine, EngineParams, LaunchOutcome, LaunchSummary, PodHandle, PodNetworking, StartupReport,
     VmOptions,
 };
+pub use recovery::RecoveryPolicy;
 pub use stats::{cdf_points, Summary};
 pub use sustain::{SustainedConfig, SustainedOutcome};
 
 use fastiov_cni::CniError;
+use fastiov_faults::{sites, FaultError};
 use fastiov_microvm::VmmError;
 use std::fmt;
+use std::time::Duration;
 
-/// Errors from the engine layer.
+/// Errors from the engine layer: everything that can fail one pod's
+/// startup, with enough structure for the recovery layer to classify it.
 #[derive(Debug)]
-pub enum EngineError {
+pub enum LaunchError {
     /// CNI setup failed.
     Cni(CniError),
     /// microVM launch failed.
@@ -38,34 +48,116 @@ pub enum EngineError {
     InterfaceMissing(String),
     /// A launch thread panicked.
     LaunchPanic,
+    /// A single startup stage ran past the recovery policy's limit.
+    StageTimeout {
+        /// The offending stage.
+        stage: String,
+        /// How long it took.
+        elapsed: Duration,
+        /// The configured limit.
+        limit: Duration,
+    },
+    /// Every attempt the retry budget allowed failed; `last` is the final
+    /// attempt's error.
+    RetriesExhausted {
+        /// Attempts made (first try included).
+        attempts: u32,
+        /// The error that ended the last attempt.
+        last: Box<LaunchError>,
+    },
 }
 
-impl fmt::Display for EngineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+/// The engine's historical error name, kept as an alias.
+pub type EngineError = LaunchError;
+
+impl LaunchError {
+    /// Stable classification label, used for aggregate failure counts.
+    pub fn class(&self) -> &'static str {
         match self {
-            EngineError::Cni(e) => write!(f, "cni: {e}"),
-            EngineError::Vmm(e) => write!(f, "vmm: {e}"),
-            EngineError::InterfaceMissing(n) => {
-                write!(f, "interface {n} not found in container NNS")
-            }
-            EngineError::LaunchPanic => write!(f, "launch thread panicked"),
+            LaunchError::Cni(_) => "cni",
+            LaunchError::Vmm(e) if e.injected().is_some() => "vmm-injected",
+            LaunchError::Vmm(_) => "vmm",
+            LaunchError::InterfaceMissing(_) => "interface-missing",
+            LaunchError::LaunchPanic => "launch-panic",
+            LaunchError::StageTimeout { .. } => "stage-timeout",
+            LaunchError::RetriesExhausted { .. } => "retries-exhausted",
+        }
+    }
+
+    /// The injected fault behind this error, walking wrapped layers.
+    pub fn injected(&self) -> Option<&FaultError> {
+        match self {
+            LaunchError::Vmm(e) => e.injected(),
+            LaunchError::RetriesExhausted { last, .. } => last.injected(),
+            _ => None,
+        }
+    }
+
+    /// True when a retry has a chance of succeeding: transient injected
+    /// faults and stage timeouts. Guest crashes, CNI failures, missing
+    /// interfaces, panics, and exhausted budgets are final.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            LaunchError::StageTimeout { .. } => true,
+            LaunchError::RetriesExhausted { .. } => false,
+            e => e.injected().is_some_and(FaultError::is_transient),
+        }
+    }
+
+    /// The fault site a retry of this error is charged to:
+    /// the injected fault's own site, or the generic engine-launch site.
+    pub fn retry_site(&self) -> &'static str {
+        self.injected().map_or(sites::ENGINE_LAUNCH, |f| f.site)
+    }
+
+    /// Stable process exit code for CLI surfaces. `0` is reserved for
+    /// success.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            LaunchError::Cni(_) => 10,
+            LaunchError::Vmm(_) => 11,
+            LaunchError::InterfaceMissing(_) => 12,
+            LaunchError::LaunchPanic => 13,
+            LaunchError::StageTimeout { .. } => 14,
+            LaunchError::RetriesExhausted { .. } => 15,
         }
     }
 }
 
-impl std::error::Error for EngineError {}
-
-impl From<CniError> for EngineError {
-    fn from(e: CniError) -> Self {
-        EngineError::Cni(e)
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LaunchError::Cni(e) => write!(f, "cni: {e}"),
+            LaunchError::Vmm(e) => write!(f, "vmm: {e}"),
+            LaunchError::InterfaceMissing(n) => {
+                write!(f, "interface {n} not found in container NNS")
+            }
+            LaunchError::LaunchPanic => write!(f, "launch thread panicked"),
+            LaunchError::StageTimeout {
+                stage,
+                elapsed,
+                limit,
+            } => write!(f, "stage {stage} ran {elapsed:?}, past the {limit:?} limit"),
+            LaunchError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last: {last}")
+            }
+        }
     }
 }
 
-impl From<VmmError> for EngineError {
+impl std::error::Error for LaunchError {}
+
+impl From<CniError> for LaunchError {
+    fn from(e: CniError) -> Self {
+        LaunchError::Cni(e)
+    }
+}
+
+impl From<VmmError> for LaunchError {
     fn from(e: VmmError) -> Self {
-        EngineError::Vmm(e)
+        LaunchError::Vmm(e)
     }
 }
 
 /// Convenience result alias.
-pub type Result<T> = std::result::Result<T, EngineError>;
+pub type Result<T> = std::result::Result<T, LaunchError>;

@@ -79,7 +79,7 @@ impl Engine {
         }
         let results: Vec<Result<StartupReport>> = workers
             .into_iter()
-            .map(|h| h.join().unwrap_or(Err(crate::EngineError::LaunchPanic)))
+            .map(|h| h.join().unwrap_or(Err(crate::LaunchError::LaunchPanic)))
             .collect();
         let summary = LaunchSummary::from_results(&results);
         let reports = results.into_iter().filter_map(|r| r.ok()).collect();

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+use fastiov_faults::{sites, FaultPlane};
 use fastiov_hostmem::{FrameId, FrameRange, Hpa, PhysMemory};
 use fastiov_kvm::EptFaultHook;
 use fastiov_simtime::{Clock, SimInstant};
@@ -69,6 +70,8 @@ pub struct Fastiovd {
     instantly_zeroed: AtomicU64,
     registered: AtomicU64,
     scrub_running: AtomicBool,
+    /// Fault plane consulted when the DMA-map path registers pages.
+    faults: Mutex<Arc<FaultPlane>>,
 }
 
 impl Fastiovd {
@@ -83,7 +86,13 @@ impl Fastiovd {
             instantly_zeroed: AtomicU64::new(0),
             registered: AtomicU64::new(0),
             scrub_running: AtomicBool::new(false),
+            faults: Mutex::new(FaultPlane::disabled()),
         })
+    }
+
+    /// Installs the fault plane for the registration path.
+    pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
+        *self.faults.lock() = plane;
     }
 
     fn vm_table(&self, pid: u64) -> Arc<Mutex<VmTable>> {
@@ -97,7 +106,30 @@ impl Fastiovd {
 
     /// Registers freshly allocated, *unzeroed* frames of microVM `pid` for
     /// lazy zeroing (called by the VFIO DMA-map deferred path).
-    pub fn register_pages(&self, pid: u64, ranges: &[FrameRange]) {
+    ///
+    /// Returns `false` if registration was refused (injected scrub
+    /// failure); the caller must then fall back to eager zeroing — the
+    /// fallback is counted against [`sites::SCRUB_REGISTER`].
+    pub fn register_pages(&self, pid: u64, ranges: &[FrameRange]) -> bool {
+        self.register_pages_keyed(pid, pid, ranges)
+    }
+
+    /// [`Self::register_pages`] with a caller-chosen fault key: recycle
+    /// paths key the injection decision on the *tenant* identity rather
+    /// than the pool VM's pid, because pod-to-pool-VM assignment depends
+    /// on thread interleaving while the tenant set does not.
+    pub fn register_pages_keyed(&self, pid: u64, fault_key: u64, ranges: &[FrameRange]) -> bool {
+        {
+            let plane = self.faults.lock();
+            if plane.is_enabled()
+                && plane
+                    .check(sites::SCRUB_REGISTER, fault_key, &self.clock)
+                    .is_err()
+            {
+                plane.note_fallback(sites::SCRUB_REGISTER);
+                return false;
+            }
+        }
         let table = self.vm_table(pid);
         let now = self.clock.now();
         let mut t = table.lock();
@@ -115,6 +147,7 @@ impl Fastiovd {
             }
         }
         self.registered.fetch_add(n, Ordering::Relaxed);
+        true
     }
 
     /// Instant-zeroing list entry point: the hypervisor declares that it
@@ -309,6 +342,25 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.lazily_zeroed, 1);
         assert_eq!(s.tracked, 3);
+    }
+
+    #[test]
+    fn injected_scrub_failure_refuses_registration() {
+        use fastiov_faults::{Effect, FaultPoint, Trigger};
+        let (mem, d) = setup();
+        d.set_fault_plane(FaultPlane::with_points(
+            0,
+            vec![FaultPoint {
+                site: sites::SCRUB_REGISTER,
+                trigger: Trigger::Once(1),
+                effect: Effect::Error,
+            }],
+        ));
+        let ranges = mem.alloc_frames(2, 1).unwrap();
+        assert!(!d.register_pages(1, &ranges), "first registration refused");
+        assert_eq!(d.stats().tracked, 0);
+        assert!(d.register_pages(1, &ranges), "second attempt accepted");
+        assert_eq!(d.stats().tracked, 2);
     }
 
     #[test]

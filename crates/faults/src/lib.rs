@@ -1,0 +1,629 @@
+//! Deterministic, seed-driven fault injection for the passthrough stack.
+//!
+//! Real secure-container fleets see transient failures at every layer of
+//! the startup path: VFIO ioctls fail under contention, page pinning
+//! fails under memory pressure, VF links time out, pooled VMs come back
+//! poisoned. This crate provides the *fault plane* — a shared
+//! [`FaultPlane`] consulted at each such site — so those failures can be
+//! injected reproducibly and the recovery machinery above (retry,
+//! backoff, graceful degradation) can be measured.
+//!
+//! Determinism is the core contract: every injection decision is a pure
+//! function of `(seed, site, key, per-(site,key) call count)` where `key`
+//! is a *stable identity* (the pod or pool-VM pid performing the
+//! operation), never a global call index. The schedule therefore depends
+//! only on the seed and the shape of the workload — not on thread
+//! interleaving — and two runs with the same seed inject exactly the
+//! same faults even at 200-way concurrency. No wall clock and no global
+//! RNG are involved; latency-spike effects are charged to the simulated
+//! clock.
+
+#![warn(missing_docs)]
+
+use fastiov_simtime::Clock;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Well-known injection sites, one per real failure point in the stack.
+pub mod sites {
+    /// `VFIO_GROUP_SET_CONTAINER` — attaching an IOMMU group.
+    pub const VFIO_GROUP_ATTACH: &str = "vfio-group-attach";
+    /// `VFIO_GROUP_GET_DEVICE_FD` — opening a device from its devset.
+    pub const VFIO_DEV_OPEN: &str = "vfio-dev-open";
+    /// Page pinning during `VFIO_IOMMU_MAP_DMA` (memory pressure).
+    pub const DMA_PIN: &str = "dma-pin";
+    /// IOVA→HPA installation in the I/O page table.
+    pub const IOMMU_MAP: &str = "iommu-map";
+    /// Registering unzeroed frames with the fastiovd scrubber.
+    pub const SCRUB_REGISTER: &str = "scrub-register";
+    /// Guest VF driver bring-up / link negotiation.
+    pub const VF_LINK: &str = "vf-link";
+    /// Secure recycle of a warm-pool VM.
+    pub const POOL_RECYCLE: &str = "pool-recycle";
+    /// Health check of a claimed warm-pool VM.
+    pub const WARM_CLAIM: &str = "warm-claim";
+    /// Catch-all site the engine charges retries to when a failure has
+    /// no injected origin (e.g. stage timeouts).
+    pub const ENGINE_LAUNCH: &str = "engine-launch";
+
+    /// Every real injection site, in report order.
+    pub const ALL: &[&str] = &[
+        DMA_PIN,
+        IOMMU_MAP,
+        POOL_RECYCLE,
+        SCRUB_REGISTER,
+        VF_LINK,
+        VFIO_DEV_OPEN,
+        VFIO_GROUP_ATTACH,
+        WARM_CLAIM,
+    ];
+}
+
+/// How severe an injected error is, for retry classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Transient: a retry of the operation may succeed.
+    Transient,
+    /// Fatal: retrying is pointless; the launch must fail.
+    Fatal,
+}
+
+/// An injected failure, carrying the site it fired at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The site that produced the fault.
+    pub site: &'static str,
+    /// Severity class.
+    pub kind: FaultKind,
+}
+
+impl FaultError {
+    /// True if a retry of the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.kind == FaultKind::Transient
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            FaultKind::Transient => write!(f, "injected transient fault at {}", self.site),
+            FaultKind::Fatal => write!(f, "injected fatal fault at {}", self.site),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// When a fault point fires.
+#[derive(Debug, Clone, Copy)]
+pub enum Trigger {
+    /// Fire on each check independently with this probability.
+    Probability(f64),
+    /// Fire on every `n`-th check of a given `(site, key)` pair.
+    NthCall(u64),
+    /// Fire exactly once, on check number `n` of a `(site, key)` pair
+    /// (1-based).
+    Once(u64),
+}
+
+/// What happens when a fault point fires.
+#[derive(Debug, Clone, Copy)]
+pub enum Effect {
+    /// Fail the operation with a transient (retryable) error.
+    Error,
+    /// Fail the operation with a fatal (non-retryable) error.
+    FatalError,
+    /// Stall the operation by this much simulated time, then succeed.
+    Delay(Duration),
+}
+
+/// One configured fault: a site, a trigger, and an effect.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPoint {
+    /// Site name (usually one of [`sites`]).
+    pub site: &'static str,
+    /// Firing rule.
+    pub trigger: Trigger,
+    /// What firing does.
+    pub effect: Effect,
+}
+
+/// Per-site counters, all monotonically increasing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SiteStats {
+    /// Times the site was consulted.
+    pub checks: u64,
+    /// Hard errors injected.
+    pub errors: u64,
+    /// Latency spikes injected.
+    pub delays: u64,
+    /// Retries the recovery layer charged to this site.
+    pub retries: u64,
+    /// Graceful-degradation fallbacks taken because of this site.
+    pub fallbacks: u64,
+}
+
+/// splitmix64 finalizer — the per-decision hash. Public so recovery
+/// layers can derive deterministic jitter from the same primitive.
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the site name, so sites salt the hash stably.
+fn site_hash(site: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in site.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The shared fault plane. One per [`Host`](https://docs.rs); every
+/// instrumented layer holds an `Arc` and calls [`FaultPlane::check`] at
+/// its failure site.
+pub struct FaultPlane {
+    seed: u64,
+    /// Points grouped by site. Empty ⇒ the plane is disabled and every
+    /// check is a no-op (the fault-free fast path).
+    points: BTreeMap<&'static str, Vec<FaultPoint>>,
+    /// Per-(site, key) check counts — the deterministic "time" axis.
+    counters: Mutex<BTreeMap<(u64, u64), u64>>,
+    stats: Mutex<BTreeMap<&'static str, SiteStats>>,
+}
+
+impl FaultPlane {
+    /// A plane that never injects anything. `check` short-circuits
+    /// without touching any counter, so fault-free numbers are
+    /// bit-for-bit identical to a build without the plane.
+    pub fn disabled() -> Arc<Self> {
+        Arc::new(FaultPlane {
+            seed: 0,
+            points: BTreeMap::new(),
+            counters: Mutex::new(BTreeMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// Builds a plane from an explicit point list.
+    pub fn with_points(seed: u64, points: Vec<FaultPoint>) -> Arc<Self> {
+        let mut by_site: BTreeMap<&'static str, Vec<FaultPoint>> = BTreeMap::new();
+        for p in points {
+            by_site.entry(p.site).or_default().push(p);
+        }
+        Arc::new(FaultPlane {
+            seed,
+            points: by_site,
+            counters: Mutex::new(BTreeMap::new()),
+            stats: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// A uniform plane: every site in [`sites::ALL`] gets a transient
+    /// error point at `error_rate` and (if non-zero) a latency spike
+    /// point at `delay_rate` of `delay` simulated time.
+    pub fn uniform(seed: u64, error_rate: f64, delay_rate: f64, delay: Duration) -> Arc<Self> {
+        let mut points = Vec::new();
+        for site in sites::ALL {
+            if error_rate > 0.0 {
+                points.push(FaultPoint {
+                    site,
+                    trigger: Trigger::Probability(error_rate),
+                    effect: Effect::Error,
+                });
+            }
+            if delay_rate > 0.0 {
+                points.push(FaultPoint {
+                    site,
+                    trigger: Trigger::Probability(delay_rate),
+                    effect: Effect::Delay(delay),
+                });
+            }
+        }
+        Self::with_points(seed, points)
+    }
+
+    /// True if any point is configured.
+    pub fn is_enabled(&self) -> bool {
+        !self.points.is_empty()
+    }
+
+    /// The seed this plane derives every decision from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Consults the plane at `site` on behalf of the stable identity
+    /// `key` (pod pid / pool pid). Latency-spike effects sleep on
+    /// `clock` and return `Ok`; error effects return the injected fault.
+    ///
+    /// The decision is a pure function of
+    /// `(seed, site, point index, key, call count)` — independent of
+    /// wall-clock time and thread interleaving.
+    pub fn check(&self, site: &'static str, key: u64, clock: &Clock) -> Result<(), FaultError> {
+        let Some(points) = self.points.get(site) else {
+            if self.is_enabled() {
+                self.stats.lock().entry(site).or_default().checks += 1;
+            }
+            return Ok(());
+        };
+        let sh = site_hash(site);
+        let count = {
+            let mut counters = self.counters.lock();
+            let c = counters.entry((sh, key)).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let mut delay = None;
+        let mut error = None;
+        for (idx, p) in points.iter().enumerate() {
+            let fired = match p.trigger {
+                Trigger::Probability(rate) => {
+                    let h = mix(self
+                        .seed
+                        .wrapping_add(mix(sh))
+                        .wrapping_add(mix(key.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+                        .wrapping_add(mix(count))
+                        .wrapping_add(idx as u64));
+                    // Map the hash to [0, 1) and compare against the rate.
+                    ((h >> 11) as f64 / (1u64 << 53) as f64) < rate
+                }
+                Trigger::NthCall(n) => n > 0 && count % n == 0,
+                Trigger::Once(n) => count == n,
+            };
+            if !fired {
+                continue;
+            }
+            match p.effect {
+                Effect::Delay(d) => delay = Some(delay.map_or(d, |prev: Duration| prev.max(d))),
+                Effect::Error => {
+                    error.get_or_insert(FaultKind::Transient);
+                }
+                Effect::FatalError => error = Some(FaultKind::Fatal),
+            }
+        }
+        let mut stats = self.stats.lock();
+        let s = stats.entry(site).or_default();
+        s.checks += 1;
+        if delay.is_some() {
+            s.delays += 1;
+        }
+        if error.is_some() {
+            s.errors += 1;
+        }
+        drop(stats);
+        if let Some(d) = delay {
+            clock.sleep(d);
+        }
+        match error {
+            Some(kind) => Err(FaultError { site, kind }),
+            None => Ok(()),
+        }
+    }
+
+    /// Records that the recovery layer retried an operation because of a
+    /// failure attributed to `site`.
+    pub fn note_retry(&self, site: &'static str) {
+        self.stats.lock().entry(site).or_default().retries += 1;
+    }
+
+    /// Records that a graceful-degradation fallback was taken because of
+    /// `site` (eager-zero instead of lazy scrub, cold boot instead of a
+    /// poisoned warm VM, retire instead of re-park).
+    pub fn note_fallback(&self, site: &'static str) {
+        self.stats.lock().entry(site).or_default().fallbacks += 1;
+    }
+
+    /// Snapshot of all per-site counters, sorted by site name (so the
+    /// rendering is deterministic).
+    pub fn report(&self) -> Vec<(&'static str, SiteStats)> {
+        self.stats
+            .lock()
+            .iter()
+            .map(|(site, s)| (*site, *s))
+            .collect()
+    }
+
+    /// Counters of one site (zeroes if it was never consulted).
+    pub fn report_for(&self, site: &str) -> SiteStats {
+        self.stats.lock().get(site).copied().unwrap_or_default()
+    }
+
+    /// Sum of all injected errors across sites.
+    pub fn total_errors(&self) -> u64 {
+        self.stats.lock().values().map(|s| s.errors).sum()
+    }
+}
+
+impl fmt::Debug for FaultPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultPlane")
+            .field("seed", &self.seed)
+            .field("sites", &self.points.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Declarative fault configuration, carried by experiment configs and
+/// CLI flags and turned into a [`FaultPlane`] with [`FaultConfig::build`].
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed every decision derives from.
+    pub seed: u64,
+    /// Per-check transient-error probability applied to every site
+    /// (0 ⇒ none).
+    pub error_rate: f64,
+    /// Per-check latency-spike probability applied to every site
+    /// (0 ⇒ none).
+    pub delay_rate: f64,
+    /// Simulated duration of an injected latency spike.
+    pub delay: Duration,
+    /// Additional hand-placed points (tests, targeted chaos).
+    pub points: Vec<FaultPoint>,
+}
+
+impl FaultConfig {
+    /// No faults at all — the default for every experiment.
+    pub fn disabled() -> Self {
+        FaultConfig {
+            seed: 0,
+            error_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::ZERO,
+            points: Vec::new(),
+        }
+    }
+
+    /// Uniform transient errors at `error_rate` on every site.
+    pub fn uniform(seed: u64, error_rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            error_rate,
+            delay_rate: 0.0,
+            delay: Duration::ZERO,
+            points: Vec::new(),
+        }
+    }
+
+    /// Adds uniform latency spikes.
+    pub fn with_delays(mut self, delay_rate: f64, delay: Duration) -> Self {
+        self.delay_rate = delay_rate;
+        self.delay = delay;
+        self
+    }
+
+    /// Adds a hand-placed point.
+    pub fn with_point(mut self, point: FaultPoint) -> Self {
+        self.points.push(point);
+        self
+    }
+
+    /// True if this config produces a disabled plane.
+    pub fn is_disabled(&self) -> bool {
+        self.error_rate <= 0.0 && self.delay_rate <= 0.0 && self.points.is_empty()
+    }
+
+    /// Materializes the plane.
+    pub fn build(&self) -> Arc<FaultPlane> {
+        if self.is_disabled() {
+            return FaultPlane::disabled();
+        }
+        let mut points = Vec::new();
+        for site in sites::ALL {
+            if self.error_rate > 0.0 {
+                points.push(FaultPoint {
+                    site,
+                    trigger: Trigger::Probability(self.error_rate),
+                    effect: Effect::Error,
+                });
+            }
+            if self.delay_rate > 0.0 {
+                points.push(FaultPoint {
+                    site,
+                    trigger: Trigger::Probability(self.delay_rate),
+                    effect: Effect::Delay(self.delay),
+                });
+            }
+        }
+        points.extend(self.points.iter().copied());
+        FaultPlane::with_points(self.seed, points)
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clock() -> Clock {
+        Clock::with_scale(1e-6)
+    }
+
+    fn decisions(plane: &FaultPlane, site: &'static str, keys: u64, calls: u64) -> Vec<bool> {
+        let c = clock();
+        let mut out = Vec::new();
+        for key in 0..keys {
+            for _ in 0..calls {
+                out.push(plane.check(site, key, &c).is_err());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultPlane::uniform(42, 0.1, 0.0, Duration::ZERO);
+        let b = FaultPlane::uniform(42, 0.1, 0.0, Duration::ZERO);
+        assert_eq!(
+            decisions(&a, sites::DMA_PIN, 64, 8),
+            decisions(&b, sites::DMA_PIN, 64, 8)
+        );
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let a = FaultPlane::uniform(1, 0.2, 0.0, Duration::ZERO);
+        let b = FaultPlane::uniform(2, 0.2, 0.0, Duration::ZERO);
+        assert_ne!(
+            decisions(&a, sites::DMA_PIN, 128, 4),
+            decisions(&b, sites::DMA_PIN, 128, 4)
+        );
+    }
+
+    #[test]
+    fn schedule_independent_of_interleaving() {
+        // The same (site, key, call-count) tuples must decide identically
+        // regardless of the order checks arrive in.
+        let a = FaultPlane::uniform(7, 0.3, 0.0, Duration::ZERO);
+        let b = FaultPlane::uniform(7, 0.3, 0.0, Duration::ZERO);
+        let c = clock();
+        let mut fwd = Vec::new();
+        for key in 0..32u64 {
+            fwd.push((key, a.check(sites::VF_LINK, key, &c).is_err()));
+        }
+        let mut rev = Vec::new();
+        for key in (0..32u64).rev() {
+            rev.push((key, b.check(sites::VF_LINK, key, &c).is_err()));
+        }
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn probability_roughly_matches_rate() {
+        let plane = FaultPlane::uniform(99, 0.1, 0.0, Duration::ZERO);
+        let hits = decisions(&plane, sites::IOMMU_MAP, 2000, 1)
+            .iter()
+            .filter(|d| **d)
+            .count();
+        assert!((120..=280).contains(&hits), "got {hits} of 2000 at 10%");
+    }
+
+    #[test]
+    fn nth_call_and_once_triggers() {
+        let plane = FaultPlane::with_points(
+            0,
+            vec![
+                FaultPoint {
+                    site: sites::DMA_PIN,
+                    trigger: Trigger::NthCall(3),
+                    effect: Effect::Error,
+                },
+                FaultPoint {
+                    site: sites::VF_LINK,
+                    trigger: Trigger::Once(2),
+                    effect: Effect::FatalError,
+                },
+            ],
+        );
+        let c = clock();
+        let pin: Vec<bool> = (0..6)
+            .map(|_| plane.check(sites::DMA_PIN, 5, &c).is_err())
+            .collect();
+        assert_eq!(pin, vec![false, false, true, false, false, true]);
+        let link: Vec<bool> = (0..4)
+            .map(|_| plane.check(sites::VF_LINK, 5, &c).is_err())
+            .collect();
+        assert_eq!(link, vec![false, true, false, false]);
+        let e = plane.check(sites::VF_LINK, 6, &c);
+        assert!(e.is_ok(), "Once counts per key, not globally");
+    }
+
+    #[test]
+    fn per_key_counters_are_independent() {
+        let plane = FaultPlane::with_points(
+            0,
+            vec![FaultPoint {
+                site: sites::POOL_RECYCLE,
+                trigger: Trigger::Once(1),
+                effect: Effect::Error,
+            }],
+        );
+        let c = clock();
+        assert!(plane.check(sites::POOL_RECYCLE, 10, &c).is_err());
+        assert!(plane.check(sites::POOL_RECYCLE, 10, &c).is_ok());
+        assert!(plane.check(sites::POOL_RECYCLE, 11, &c).is_err());
+    }
+
+    #[test]
+    fn delay_charges_simulated_clock() {
+        let plane = FaultPlane::with_points(
+            0,
+            vec![FaultPoint {
+                site: sites::VFIO_DEV_OPEN,
+                trigger: Trigger::Once(1),
+                effect: Effect::Delay(Duration::from_millis(250)),
+            }],
+        );
+        let c = clock();
+        let t0 = c.now();
+        plane.check(sites::VFIO_DEV_OPEN, 1, &c).unwrap();
+        let elapsed = c.now().duration_since(t0);
+        assert!(elapsed >= Duration::from_millis(250), "slept {elapsed:?}");
+        let (site, s) = plane.report()[0];
+        assert_eq!(site, sites::VFIO_DEV_OPEN);
+        assert_eq!(s.delays, 1);
+        assert_eq!(s.errors, 0);
+    }
+
+    #[test]
+    fn disabled_plane_is_a_noop() {
+        let plane = FaultPlane::disabled();
+        let c = clock();
+        for i in 0..100 {
+            assert!(plane.check(sites::DMA_PIN, i, &c).is_ok());
+        }
+        assert!(!plane.is_enabled());
+        assert!(plane.report().is_empty());
+    }
+
+    #[test]
+    fn counters_track_retries_and_fallbacks() {
+        let plane = FaultPlane::uniform(3, 0.5, 0.0, Duration::ZERO);
+        plane.note_retry(sites::DMA_PIN);
+        plane.note_retry(sites::DMA_PIN);
+        plane.note_fallback(sites::WARM_CLAIM);
+        let report: std::collections::BTreeMap<_, _> = plane.report().into_iter().collect();
+        assert_eq!(report[sites::DMA_PIN].retries, 2);
+        assert_eq!(report[sites::WARM_CLAIM].fallbacks, 1);
+    }
+
+    #[test]
+    fn fault_config_roundtrip() {
+        assert!(FaultConfig::disabled().is_disabled());
+        assert!(!FaultConfig::disabled().build().is_enabled());
+        let cfg = FaultConfig::uniform(9, 0.01).with_delays(0.005, Duration::from_millis(100));
+        assert!(!cfg.is_disabled());
+        let plane = cfg.build();
+        assert!(plane.is_enabled());
+        assert_eq!(plane.seed(), 9);
+    }
+
+    #[test]
+    fn fatal_faults_are_not_transient() {
+        let plane = FaultPlane::with_points(
+            0,
+            vec![FaultPoint {
+                site: sites::VF_LINK,
+                trigger: Trigger::Once(1),
+                effect: Effect::FatalError,
+            }],
+        );
+        let e = plane.check(sites::VF_LINK, 0, &clock()).unwrap_err();
+        assert!(!e.is_transient());
+        assert_eq!(e.site, sites::VF_LINK);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::params::HostParams;
 use crate::{Result, VmmError};
+use fastiov_faults::{sites, FaultPlane};
 use fastiov_hostmem::Gpa;
 use fastiov_kvm::Vm;
 use fastiov_nic::{AdminCmd, MacAddr, PfDriver, VfId};
@@ -85,6 +86,9 @@ pub struct GuestVfDriver {
     vf: VfId,
     /// Guest-physical base of the driver's RX buffer area.
     rx_gpa: Gpa,
+    /// Stable identity of the owning pod — the fault-injection key, so
+    /// injected VF-link faults don't depend on VF allocation order.
+    pid: u64,
     readiness: Arc<NetReadiness>,
 }
 
@@ -97,6 +101,7 @@ impl GuestVfDriver {
         dma: Arc<fastiov_nic::DmaEngine>,
         vf: VfId,
         rx_gpa: Gpa,
+        pid: u64,
     ) -> Self {
         GuestVfDriver {
             clock,
@@ -105,6 +110,7 @@ impl GuestVfDriver {
             dma,
             vf,
             rx_gpa,
+            pid,
             readiness: NetReadiness::new(),
         }
     }
@@ -116,9 +122,25 @@ impl GuestVfDriver {
 
     /// Runs the full two-step initialization (§3.2.4), leaving the
     /// interface ready. On error the readiness flag carries the failure.
-    pub fn initialize(&self, host_cpu: &fastiov_simtime::CpuPool, params: &HostParams) {
+    ///
+    /// An injected transient VF-link fault is retried once in place — the
+    /// driver re-runs the whole sequence, modelling the guest driver's
+    /// reset-and-reprobe path — before the failure is declared.
+    pub fn initialize(
+        &self,
+        host_cpu: &fastiov_simtime::CpuPool,
+        params: &HostParams,
+        faults: &FaultPlane,
+    ) {
         match self.try_initialize(host_cpu, params) {
             Ok(()) => self.readiness.set_ready(),
+            Err(first) if first.injected().is_some_and(|f| f.is_transient()) => {
+                faults.note_retry(sites::VF_LINK);
+                match self.try_initialize(host_cpu, params) {
+                    Ok(()) => self.readiness.set_ready(),
+                    Err(e) => self.readiness.set_failed(e.to_string()),
+                }
+            }
             Err(e) => self.readiness.set_failed(e.to_string()),
         }
     }
@@ -139,6 +161,7 @@ impl GuestVfDriver {
         // Step 1d: link status propagation.
         self.clock.sleep(params.link_update);
         self.pf.admin().submit(&vf, AdminCmd::QueryLink);
+        self.pf.link_up(self.vf, self.pid).map_err(VmmError::Nic)?;
         // Step 1e: the driver zeroes its freshly allocated DMA ring
         // buffers through guest writes — this is what EPT-faults the ring
         // pages and keeps NIC DMA safe under decoupled zeroing even

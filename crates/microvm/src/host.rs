@@ -2,6 +2,7 @@
 
 use crate::params::HostParams;
 use crate::Result;
+use fastiov_faults::FaultPlane;
 use fastiov_hostmem::{MemCosts, PhysMemory};
 use fastiov_iommu::Iommu;
 use fastiov_nic::{DmaEngine, PfDriver};
@@ -45,6 +46,9 @@ pub struct Host {
     pub virtiofs_bw: Arc<FairShareBandwidth>,
     /// Software (virtio-net) data-path bandwidth, shared host-wide.
     pub sw_net_bw: Arc<FairShareBandwidth>,
+    /// The fault-injection plane shared by every instrumented layer.
+    /// Disabled (a no-op) unless built via [`Host::with_faults`].
+    pub faults: Arc<FaultPlane>,
     /// The host-global virtiofsd lock serializing device setup.
     virtiofsd_lock: Arc<FairSemaphore>,
 }
@@ -57,6 +61,18 @@ impl Host {
     /// all VFs (the one-time boot-phase work of §2.3, excluded from
     /// startup measurements).
     pub fn new(params: HostParams, vfio_policy: LockPolicy) -> Result<Arc<Self>> {
+        Self::with_faults(params, vfio_policy, FaultPlane::disabled())
+    }
+
+    /// Builds the server with a fault-injection plane threaded through
+    /// every instrumented layer (VFIO ioctls, DMA pin/map, scrub
+    /// registration, VF link bring-up). With a disabled plane this is
+    /// exactly [`Host::new`].
+    pub fn with_faults(
+        params: HostParams,
+        vfio_policy: LockPolicy,
+        faults: Arc<FaultPlane>,
+    ) -> Result<Arc<Self>> {
         let clock = Clock::with_scale(params.time_scale);
         let cpu = CpuPool::new(clock.clone(), params.host_cores);
         let membw =
@@ -80,6 +96,9 @@ impl Host {
             params.iotlb_capacity,
         );
         let vfio = DevsetManager::new(Arc::clone(&bus), vfio_policy, params.vfio_open_overhead);
+        if faults.is_enabled() {
+            vfio.set_fault_plane(Arc::clone(&faults));
+        }
         let pf = PfDriver::new(
             clock.clone(),
             Arc::clone(&bus),
@@ -95,6 +114,9 @@ impl Host {
                 admin_service: params.admin_service,
             },
         )?;
+        if faults.is_enabled() {
+            pf.set_fault_plane(Arc::clone(&faults));
+        }
         pf.create_vfs(params.total_vfs)?;
         let line = FairShareBandwidth::new(
             clock.clone(),
@@ -106,6 +128,9 @@ impl Host {
         dma.set_interrupt_sink(Arc::clone(&irq) as Arc<dyn fastiov_nic::InterruptSink>);
         let wire = fastiov_nic::Wire::new();
         let fastiovd = Fastiovd::new(clock.clone(), Arc::clone(&mem));
+        if faults.is_enabled() {
+            fastiovd.set_fault_plane(Arc::clone(&faults));
+        }
         let virtiofs_bw = FairShareBandwidth::new(
             clock.clone(),
             params.virtiofs_total,
@@ -129,6 +154,7 @@ impl Host {
             fastiovd,
             virtiofs_bw,
             sw_net_bw,
+            faults,
             virtiofsd_lock: FairSemaphore::new(1),
         }))
     }

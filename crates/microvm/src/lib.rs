@@ -24,6 +24,7 @@ pub use irq::{IrqRouter, IrqStats};
 pub use params::HostParams;
 pub use vm::{Microvm, MicrovmConfig, NetworkAttachment, ZeroingMode};
 
+use fastiov_faults::FaultError;
 use fastiov_hostmem::MemError;
 use fastiov_kvm::KvmError;
 use fastiov_nic::NicError;
@@ -52,6 +53,22 @@ pub enum VmmError {
     Virtio(VirtioError),
     /// MicroVM is not network-attached.
     NoNetwork,
+    /// Fault injected by the fault plane directly at the VMM layer
+    /// (e.g. the warm-pool recycle site).
+    Injected(FaultError),
+}
+
+impl VmmError {
+    /// The injected fault behind this error, walking through the wrapped
+    /// layer errors, if any.
+    pub fn injected(&self) -> Option<&FaultError> {
+        match self {
+            VmmError::Injected(f) => Some(f),
+            VmmError::Vfio(e) => e.injected(),
+            VmmError::Nic(e) => e.injected(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for VmmError {
@@ -64,6 +81,7 @@ impl fmt::Display for VmmError {
             VmmError::Nic(e) => write!(f, "nic: {e}"),
             VmmError::Virtio(e) => write!(f, "virtio: {e}"),
             VmmError::NoNetwork => write!(f, "microVM has no network attachment"),
+            VmmError::Injected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -97,6 +115,12 @@ impl From<NicError> for VmmError {
 impl From<VirtioError> for VmmError {
     fn from(e: VirtioError) -> Self {
         VmmError::Virtio(e)
+    }
+}
+
+impl From<FaultError> for VmmError {
+    fn from(e: FaultError) -> Self {
+        VmmError::Injected(e)
     }
 }
 

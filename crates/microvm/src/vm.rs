@@ -182,6 +182,38 @@ impl Microvm {
         net: NetworkAttachment,
         log: &mut StageLog,
     ) -> Result<Arc<Microvm>> {
+        let pid = cfg.pid;
+        let result = Self::launch_inner(host, cfg, net, log);
+        if result.is_err() {
+            // Unwind whatever passthrough state a partial launch left
+            // behind, so the VF can be handed to another tenant: the
+            // IOMMU-group attach (detach is a no-op unless this pid holds
+            // it), the DMA-domain binding, the PF-side ownership mark,
+            // and any pages registered with the scrubber.
+            if let NetworkAttachment::Passthrough(vf) | NetworkAttachment::Vdpa(vf) = net {
+                host.dma.detach_vf(vf);
+                if let Ok(vf_ref) = host.pf.vf(vf) {
+                    vf_ref.with_state(|s| {
+                        if s.owner_vm == Some(pid) {
+                            s.owner_vm = None;
+                        }
+                    });
+                    if let Ok(group) = host.vfio.group(vf_ref.pci().bdf()) {
+                        let _ = group.detach(pid);
+                    }
+                }
+                host.fastiovd.unregister_vm(pid);
+            }
+        }
+        result
+    }
+
+    fn launch_inner(
+        host: &Arc<Host>,
+        cfg: MicrovmConfig,
+        net: NetworkAttachment,
+        log: &mut StageLog,
+    ) -> Result<Arc<Microvm>> {
         let params = &host.params;
         let page = params.page_size.bytes();
         let layout = GuestLayout::new(cfg.ram_bytes, params.kernel_bytes, page);
@@ -213,7 +245,12 @@ impl Microvm {
         let mut vf_id = None;
         if let NetworkAttachment::Passthrough(vf) | NetworkAttachment::Vdpa(vf) = net {
             let domain = host.iommu.create_domain(params.page_size);
-            let c = VfioContainer::new(domain, Arc::clone(&aspace));
+            let c = VfioContainer::with_faults(
+                domain,
+                Arc::clone(&aspace),
+                Arc::clone(&host.faults),
+                host.clock.clone(),
+            );
 
             // Stage 1: DMA-map guest RAM.
             log.stage(stages::DMA_RAM, || -> Result<()> {
@@ -382,16 +419,17 @@ impl Microvm {
                 Arc::clone(&host.dma),
                 vf,
                 layout.rx_gpa,
+                cfg.pid,
             );
             let readiness = driver.readiness();
             if cfg.async_vf_init {
                 let host2 = Arc::clone(host);
                 init_thread = Some(std::thread::spawn(move || {
-                    driver.initialize(&host2.cpu, &host2.params);
+                    driver.initialize(&host2.cpu, &host2.params, &host2.faults);
                 }));
             } else {
                 log.stage(stages::VF_DRIVER, || {
-                    driver.initialize(&host.cpu, &host.params)
+                    driver.initialize(&host.cpu, &host.params, &host.faults)
                 });
                 readiness.wait()?;
             }
@@ -505,11 +543,24 @@ impl Microvm {
     /// Runs off the startup critical path: the pool's replenisher thread
     /// pays these costs, not the claiming pod.
     pub fn recycle(&self, log: &mut StageLog) -> Result<()> {
+        self.recycle_keyed(log, self.cfg.pid)
+    }
+
+    /// [`Microvm::recycle`] with an explicit fault-injection key: the
+    /// stable identity of the tenant pod being torn down (falling back to
+    /// the VM's own pid when it never hosted one), so injected recycle
+    /// faults don't depend on pod-to-VM assignment order.
+    pub fn recycle_keyed(&self, log: &mut StageLog, fault_key: u64) -> Result<()> {
         // Quiesce: a still-running async VF init writes guest memory.
         if let Some(t) = self.init_thread.lock().take() {
             let _ = t.join();
         }
         let host = &self.host;
+        if host.faults.is_enabled() {
+            host.faults
+                .check(fastiov_faults::sites::POOL_RECYCLE, fault_key, &host.clock)
+                .map_err(VmmError::Injected)?;
+        }
         let page = host.params.page_size.bytes();
         log.stage(stages::RECYCLE, || -> Result<()> {
             // (1) Drop stale EPT entries over RAM and the image window.
@@ -518,11 +569,15 @@ impl Microvm {
                 .clear_ept_range(self.layout.image_gpa, self.cfg.image_bytes);
 
             // (2) Hand every RAM frame (back) to the lazy-zeroing daemon —
-            // or, outside decoupled mode, zero them all eagerly.
+            // or, if it refuses (injected scrub failure) or outside
+            // decoupled mode, zero them all eagerly. Either way no stale
+            // byte survives.
             let ram_frames = self.aspace.frames_in(self.ram_hva, self.cfg.ram_bytes)?;
-            if self.cfg.zeroing.is_decoupled() {
-                host.fastiovd.register_pages(self.cfg.pid, &ram_frames);
-            } else {
+            if !self.cfg.zeroing.is_decoupled()
+                || !host
+                    .fastiovd
+                    .register_pages_keyed(self.cfg.pid, fault_key, &ram_frames)
+            {
                 host.mem.zero_ranges(&ram_frames).map_err(VmmError::Mem)?;
             }
 

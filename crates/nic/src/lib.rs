@@ -29,6 +29,7 @@ pub use pf::{AdminCmd, AdminQueue, AdminReply, PfDriver, PfStats};
 pub use tx::{Frame, FrameQueue, Wire, WireSink};
 pub use vf::{MacAddr, NetdevName, Vf, VfId, VfState};
 
+use fastiov_faults::FaultError;
 use fastiov_pci::{Bdf, PciError};
 use std::fmt;
 
@@ -57,6 +58,18 @@ pub enum NicError {
         /// Human-readable detail.
         detail: String,
     },
+    /// Fault injected by the fault plane (VF link bring-up).
+    Injected(FaultError),
+}
+
+impl NicError {
+    /// The injected fault behind this error, if any.
+    pub fn injected(&self) -> Option<&FaultError> {
+        match self {
+            NicError::Injected(f) => Some(f),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for NicError {
@@ -68,6 +81,7 @@ impl fmt::Display for NicError {
             NicError::NoRxBuffer(i) => write!(f, "VF {i}: no RX buffer posted"),
             NicError::Pci(e) => write!(f, "pci: {e}"),
             NicError::DmaFault { vf, detail } => write!(f, "VF {vf} DMA fault: {detail}"),
+            NicError::Injected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -77,6 +91,12 @@ impl std::error::Error for NicError {}
 impl From<PciError> for NicError {
     fn from(e: PciError) -> Self {
         NicError::Pci(e)
+    }
+}
+
+impl From<FaultError> for NicError {
+    fn from(e: FaultError) -> Self {
+        NicError::Injected(e)
     }
 }
 

@@ -3,6 +3,7 @@
 
 use crate::vf::{MacAddr, NetdevName, Vf, VfId};
 use crate::{vf_bdf, NicError, Result};
+use fastiov_faults::{sites, FaultPlane};
 use fastiov_pci::{DeviceClass, DriverBinding, PciBus, PciDevice, ResetCapability};
 use fastiov_simtime::{Clock, FairSemaphore};
 use parking_lot::Mutex;
@@ -191,6 +192,8 @@ pub struct PfDriver {
     vfs: Mutex<Vec<Arc<Vf>>>,
     host_binds: AtomicU64,
     vfio_binds: AtomicU64,
+    /// Fault plane consulted during VF link bring-up.
+    faults: Mutex<Arc<FaultPlane>>,
 }
 
 impl PfDriver {
@@ -223,7 +226,32 @@ impl PfDriver {
             vfs: Mutex::new(Vec::new()),
             host_binds: AtomicU64::new(0),
             vfio_binds: AtomicU64::new(0),
+            faults: Mutex::new(FaultPlane::disabled()),
         }))
+    }
+
+    /// Installs the fault plane for the link bring-up path.
+    pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
+        *self.faults.lock() = plane;
+    }
+
+    /// Link bring-up gate for `vf`, consulted by the guest VF driver
+    /// after queue enablement. `fault_key` is the stable identity of the
+    /// launching VM (its pid), keeping the injection schedule independent
+    /// of VF assignment order. Injected failures model the link-negotiation
+    /// timeouts SR-IOV deployments see under bursty VF churn.
+    pub fn link_up(&self, vf: VfId, fault_key: u64) -> Result<()> {
+        let plane = Arc::clone(&self.faults.lock());
+        if plane.is_enabled() {
+            plane.check(sites::VF_LINK, fault_key, &self.clock)?;
+        }
+        if !self.vf(vf)?.state().link_up {
+            return Err(NicError::BadVfState {
+                vf: vf.0,
+                reason: "link not negotiated",
+            });
+        }
+        Ok(())
     }
 
     /// The PF's PCI function.

@@ -2,6 +2,7 @@
 
 use crossbeam::channel::{self, Receiver, Sender};
 use fastiov_cni::{CniError, VfProvider};
+use fastiov_faults::sites;
 use fastiov_microvm::{Host, Microvm, MicrovmConfig, NetworkAttachment, VmmError};
 use fastiov_nic::{AdminCmd, MacAddr, NetdevName, NicError, VfId};
 use fastiov_simtime::StageLog;
@@ -94,6 +95,10 @@ pub struct WarmVm {
     pub netdev: NetdevName,
     /// The pool-range hypervisor PID the microVM runs under.
     pub pool_pid: u64,
+    /// The pod most recently served by this microVM, set by the claimer.
+    /// Keys fault injection on recycle: pod identity is stable across
+    /// runs, pod-to-VM assignment order is not.
+    pub tenant: Option<u64>,
 }
 
 /// Counter snapshot of the pool.
@@ -115,6 +120,9 @@ pub struct PoolStats {
     pub provision_failures: u64,
     /// Recycles that failed; the microVM is shut down instead of reused.
     pub recycle_failures: u64,
+    /// Claimed microVMs the engine judged unhealthy and handed back for
+    /// immediate retirement (never re-parked).
+    pub evicted: u64,
     /// Replenisher commands sent but not yet processed.
     pub backlog: usize,
 }
@@ -150,6 +158,7 @@ struct Shared {
     recycled: AtomicU64,
     provision_failures: AtomicU64,
     recycle_failures: AtomicU64,
+    evicted: AtomicU64,
     backlog: AtomicUsize,
     /// MicroVMs alive under pool management: parked plus claimed-out.
     /// Replenishing caps on this, not on the parked count, so the pool
@@ -209,13 +218,19 @@ impl Shared {
             )?;
             // Only fully-initialized VMs enter the pool: wait out the
             // asynchronous VF driver init so a claimed VM is instantly
-            // ready for traffic.
-            vm.wait_net_ready()?;
+            // ready for traffic. A VM whose driver never came up must be
+            // torn down before its VF is released, or the next tenant of
+            // that VF inherits a group still attached to this dead pid.
+            if let Err(e) = vm.wait_net_ready() {
+                let _ = vm.shutdown();
+                return Err(e.into());
+            }
             Ok(WarmVm {
                 vm,
                 vf,
                 netdev,
                 pool_pid: pid,
+                tenant: None,
             })
         }
     }
@@ -235,14 +250,19 @@ fn replenisher(shared: Arc<Shared>, rx: Receiver<Cmd>) {
             }
             Cmd::Recycle(warm) => {
                 let mut log = StageLog::begin(shared.host.clock.clone());
-                match warm.vm.recycle(&mut log) {
+                let key = warm.tenant.unwrap_or(warm.pool_pid);
+                match warm.vm.recycle_keyed(&mut log, key) {
                     Ok(()) => {
                         shared.slots.lock().push(warm);
                         shared.recycled.fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(_) => {
+                    Err(e) => {
                         // A VM that cannot be proven clean never re-enters
-                        // the pool.
+                        // the pool. Retiring it (and replenishing cold) is
+                        // the degradation path for an injected wipe fault.
+                        if e.injected().is_some() {
+                            shared.host.faults.note_fallback(sites::POOL_RECYCLE);
+                        }
                         shared.recycle_failures.fetch_add(1, Ordering::Relaxed);
                         shared.retire(warm);
                     }
@@ -277,6 +297,7 @@ impl WarmPool {
             recycled: AtomicU64::new(0),
             provision_failures: AtomicU64::new(0),
             recycle_failures: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
             backlog: AtomicUsize::new(0),
             live: AtomicUsize::new(0),
         });
@@ -299,21 +320,29 @@ impl WarmPool {
 
     /// Synchronously fills the pool to capacity, provisioning in parallel
     /// (the boot-time warm-up a production deployment would run before
-    /// admitting pods). Returns the number of parked microVMs.
+    /// admitting pods). Failed provisions are retried in further rounds —
+    /// each with a fresh pool pid — until the pool is full or a whole
+    /// round makes no progress (VFs exhausted, or every retry faulted
+    /// again). Returns the number of parked microVMs.
     pub fn prefill(&self) -> usize {
-        let need = self
-            .shared
-            .params
-            .capacity
-            .saturating_sub(self.shared.slots.lock().len());
-        std::thread::scope(|s| {
-            for _ in 0..need {
-                let shared = Arc::clone(&self.shared);
-                s.spawn(move || {
-                    let _ = shared.provision_one();
-                });
+        loop {
+            let before = self.shared.slots.lock().len();
+            let need = self.shared.params.capacity.saturating_sub(before);
+            if need == 0 {
+                break;
             }
-        });
+            std::thread::scope(|s| {
+                for _ in 0..need {
+                    let shared = Arc::clone(&self.shared);
+                    s.spawn(move || {
+                        let _ = shared.provision_one();
+                    });
+                }
+            });
+            if self.shared.slots.lock().len() == before {
+                break;
+            }
+        }
         self.shared.slots.lock().len()
     }
 
@@ -348,6 +377,16 @@ impl WarmPool {
     /// on the replenisher thread, off the teardown critical path.
     pub fn recycle(&self, warm: WarmVm) {
         self.send(Cmd::Recycle(warm));
+    }
+
+    /// Retires a claimed microVM immediately, without attempting a
+    /// recycle: the engine's degradation path when a warm claim turns out
+    /// unhealthy. The VM is shut down, its VF released, and a replenish is
+    /// nudged so the pool recovers its capacity with a fresh VM.
+    pub fn evict(&self, warm: WarmVm) {
+        self.shared.evicted.fetch_add(1, Ordering::Relaxed);
+        self.shared.retire(warm);
+        self.send(Cmd::Replenish);
     }
 
     fn send(&self, cmd: Cmd) {
@@ -385,6 +424,7 @@ impl WarmPool {
             recycled: self.shared.recycled.load(Ordering::Relaxed),
             provision_failures: self.shared.provision_failures.load(Ordering::Relaxed),
             recycle_failures: self.shared.recycle_failures.load(Ordering::Relaxed),
+            evicted: self.shared.evicted.load(Ordering::Relaxed),
             backlog: self.shared.backlog.load(Ordering::Acquire),
         }
     }
@@ -509,6 +549,8 @@ mod tests {
         assert_eq!(pool.prefill(), 1);
         let s = pool.stats();
         assert_eq!(s.provisioned, 1);
-        assert_eq!(s.provision_failures, 1);
+        // Round 1 fails one of the two provisions; the no-progress retry
+        // round confirms the exhaustion before prefill gives up.
+        assert_eq!(s.provision_failures, 2);
     }
 }

@@ -11,8 +11,10 @@
 //! 4. **Page mapping** — IOVA→HPA entries installed in the I/O page table.
 
 use crate::{Result, VfioError};
+use fastiov_faults::{sites, FaultPlane};
 use fastiov_hostmem::{AddressSpace, FrameRange, Hva, Iova, Populate};
 use fastiov_iommu::IommuDomain;
+use fastiov_simtime::Clock;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -23,7 +25,12 @@ pub enum DmaZeroMode<'a> {
     /// Leave newly allocated pages dirty and pass them to the registrar
     /// (FastIOV decoupled zeroing; the registrar is `fastiovd`, which will
     /// zero each page inside the EPT fault on first guest access).
-    Deferred(&'a dyn Fn(u64, &[FrameRange])),
+    ///
+    /// The registrar returns `false` when it refuses the frames (scrub
+    /// registration failure); the container then degrades gracefully by
+    /// zeroing those frames eagerly, so the unzeroed-page invariant never
+    /// depends on the scrubber being healthy.
+    Deferred(&'a dyn Fn(u64, &[FrameRange]) -> bool),
 }
 
 /// One live DMA mapping.
@@ -46,6 +53,9 @@ pub struct VfioContainer {
     domain: Arc<IommuDomain>,
     aspace: Arc<AddressSpace>,
     mappings: Mutex<Vec<DmaMapping>>,
+    /// Fault plane consulted on the pin and map steps, with the clock
+    /// latency spikes are charged to.
+    faults: Option<(Arc<FaultPlane>, Clock)>,
 }
 
 impl VfioContainer {
@@ -56,7 +66,30 @@ impl VfioContainer {
             domain,
             aspace,
             mappings: Mutex::new(Vec::new()),
+            faults: None,
         })
+    }
+
+    /// Creates a container with a fault plane on the pin/map pipeline.
+    pub fn with_faults(
+        domain: Arc<IommuDomain>,
+        aspace: Arc<AddressSpace>,
+        plane: Arc<FaultPlane>,
+        clock: Clock,
+    ) -> Arc<Self> {
+        Arc::new(VfioContainer {
+            domain,
+            aspace,
+            mappings: Mutex::new(Vec::new()),
+            faults: plane.is_enabled().then_some((plane, clock)),
+        })
+    }
+
+    fn check_fault(&self, site: &'static str) -> Result<()> {
+        if let Some((plane, clock)) = &self.faults {
+            plane.check(site, self.aspace.pid(), clock)?;
+        }
+        Ok(())
     }
 
     /// The container's IOMMU domain.
@@ -86,14 +119,23 @@ impl VfioContainer {
             },
         )?;
         // Step 2 (deferred flavour): hand dirty frames to the registrar.
+        // A refused registration falls back to eager zeroing — the pages
+        // must never reach the guest dirty, scrubber or not.
         if let DmaZeroMode::Deferred(register) = mode {
-            register(self.aspace.pid(), &newly);
+            if !register(self.aspace.pid(), &newly) {
+                self.aspace.memory().zero_ranges(&newly)?;
+            }
         }
         // Step 3: pin the whole span.
         let all = self.aspace.frames_in(hva, len)?;
         let mem = self.aspace.memory();
+        self.check_fault(sites::DMA_PIN)?;
         mem.pin_ranges(&all)?;
         // Step 4: install IOVA→HPA translations.
+        if let Err(f) = self.check_fault(sites::IOMMU_MAP) {
+            let _ = mem.unpin_ranges(&all);
+            return Err(f);
+        }
         if let Err(e) = self.domain.map_range(iova, &all, mem) {
             // Roll back the pin so the container stays consistent.
             let _ = mem.unpin_ranges(&all);
@@ -192,6 +234,7 @@ mod tests {
             registered
                 .lock()
                 .push((pid, ranges.iter().map(|r| r.count).sum()));
+            true
         };
         c.dma_map(hva, 4 * PAGE, Iova(0), DmaZeroMode::Deferred(&reg))
             .unwrap();
@@ -218,12 +261,72 @@ mod tests {
         let count = PlMutex::new(0usize);
         let reg = |_pid: u64, ranges: &[FrameRange]| {
             *count.lock() += ranges.iter().map(|r| r.count).sum::<usize>();
+            true
         };
         c.dma_map(hva, 4 * PAGE, Iova(0), DmaZeroMode::Deferred(&reg))
             .unwrap();
         assert_eq!(*count.lock(), 2, "only the two missing pages registered");
         // All four pages pinned and mapped.
         assert_eq!(c.domain().stats().mapped_pages, 4);
+    }
+
+    #[test]
+    fn refused_registration_falls_back_to_eager_zero() {
+        // Scrub registration failure must not leave dirty pages mapped:
+        // the container zeroes them eagerly instead.
+        let (mem, aspace, c) = setup();
+        let hva = aspace.mmap("ram", 4 * PAGE).unwrap();
+        let reg = |_pid: u64, _ranges: &[FrameRange]| false;
+        c.dma_map(hva, 4 * PAGE, Iova(0), DmaZeroMode::Deferred(&reg))
+            .unwrap();
+        let m = &c.mappings()[0];
+        for r in &m.ranges {
+            for f in r.iter() {
+                assert!(!mem.leaks_residue(f).unwrap());
+            }
+        }
+        assert_eq!(mem.stats().frames_zeroed_charged, 4);
+    }
+
+    #[test]
+    fn injected_pin_fault_fails_map_cleanly() {
+        use fastiov_faults::{Effect, FaultPoint, Trigger};
+        let mem = PhysMemory::new(MemCosts::for_tests(), PageSize::Size2M, 256);
+        let aspace = AddressSpace::new(7, Arc::clone(&mem));
+        let iommu = fastiov_iommu::Iommu::new(
+            Clock::with_scale(1e-5),
+            Duration::from_nanos(100),
+            Duration::from_nanos(300),
+            64,
+        );
+        let plane = FaultPlane::with_points(
+            0,
+            vec![FaultPoint {
+                site: sites::DMA_PIN,
+                trigger: Trigger::Once(1),
+                effect: Effect::Error,
+            }],
+        );
+        let c = VfioContainer::with_faults(
+            iommu.create_domain(PageSize::Size2M),
+            Arc::clone(&aspace),
+            plane,
+            Clock::with_scale(1e-5),
+        );
+        let hva = aspace.mmap("ram", 2 * PAGE).unwrap();
+        let e = c
+            .dma_map(hva, 2 * PAGE, Iova(0), DmaZeroMode::Eager)
+            .unwrap_err();
+        assert!(matches!(e, VfioError::Injected(_)));
+        assert!(c.mappings().is_empty());
+        // Second attempt (call count 2) succeeds; nothing stayed pinned.
+        c.dma_map(hva, 2 * PAGE, Iova(0), DmaZeroMode::Eager)
+            .unwrap();
+        for r in &c.mappings()[0].ranges {
+            for f in r.iter() {
+                assert_eq!(mem.pin_count(f).unwrap(), 1);
+            }
+        }
     }
 
     #[test]

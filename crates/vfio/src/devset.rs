@@ -10,6 +10,7 @@
 use crate::group::VfioGroup;
 use crate::locking::{ChildLock, LockPolicy, ParentChildLock};
 use crate::{Result, VfioError};
+use fastiov_faults::{sites, FaultPlane};
 use fastiov_pci::{Bdf, DriverBinding, PciBus, PciDevice, ResetCapability};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -231,6 +232,9 @@ pub struct DevsetManager {
     opens: AtomicU64,
     resets: AtomicU64,
     busy: AtomicU64,
+    /// Fault plane consulted on the ioctl paths. Groups capture the plane
+    /// installed at their registration time.
+    faults: Mutex<Arc<FaultPlane>>,
 }
 
 impl DevsetManager {
@@ -250,7 +254,14 @@ impl DevsetManager {
             opens: AtomicU64::new(0),
             resets: AtomicU64::new(0),
             busy: AtomicU64::new(0),
+            faults: Mutex::new(FaultPlane::disabled()),
         })
+    }
+
+    /// Installs the fault plane for the ioctl paths. Must be called
+    /// before devices are registered: groups capture the current plane.
+    pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
+        *self.faults.lock() = plane;
     }
 
     /// The lock policy devices are created with.
@@ -288,9 +299,15 @@ impl DevsetManager {
         self.devices.lock().insert(dev.bdf(), Arc::clone(&dev));
         // Every function gets its own IOMMU group (ACS topology).
         let gid = self.next_group.fetch_add(1, Ordering::Relaxed) as u32;
-        self.groups
-            .lock()
-            .insert(dev.bdf(), VfioGroup::new(gid, dev.bdf()));
+        let group = {
+            let plane = self.faults.lock();
+            if plane.is_enabled() {
+                VfioGroup::with_faults(gid, dev.bdf(), Arc::clone(&plane), self.bus.clock().clone())
+            } else {
+                VfioGroup::new(gid, dev.bdf())
+            }
+        };
+        self.groups.lock().insert(dev.bdf(), group);
         Ok(dev)
     }
 
@@ -340,8 +357,15 @@ impl DevsetManager {
         let dev = self.device(bdf)?;
         // VFIO only hands out device descriptors through an attached
         // group (VFIO_GROUP_GET_DEVICE_FD).
-        if !self.group(bdf)?.is_attached() {
+        let group = self.group(bdf)?;
+        let Some(owner) = group.owner() else {
             return Err(VfioError::GroupNotAttached(bdf));
+        };
+        {
+            let plane = self.faults.lock();
+            if plane.is_enabled() {
+                plane.check(sites::VFIO_DEV_OPEN, owner, self.bus.clock())?;
+            }
         }
         dev.devset().open(&dev)?;
         self.opens.fetch_add(1, Ordering::Relaxed);

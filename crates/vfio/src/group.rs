@@ -10,7 +10,9 @@
 //! groups.
 
 use crate::{Result, VfioError};
+use fastiov_faults::{sites, FaultPlane};
 use fastiov_pci::Bdf;
+use fastiov_simtime::Clock;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -22,6 +24,9 @@ pub struct VfioGroup {
     /// Owner container, identified by the hypervisor PID behind it.
     attached: Mutex<Option<u64>>,
     attach_count: AtomicU64,
+    /// Fault plane consulted on the attach ioctl, with the clock latency
+    /// spikes are charged to. `None` in standalone/test construction.
+    faults: Option<(Arc<FaultPlane>, Clock)>,
 }
 
 impl VfioGroup {
@@ -32,6 +37,18 @@ impl VfioGroup {
             bdf,
             attached: Mutex::new(None),
             attach_count: AtomicU64::new(0),
+            faults: None,
+        })
+    }
+
+    /// Creates the group with a fault plane on the attach path.
+    pub fn with_faults(id: u32, bdf: Bdf, plane: Arc<FaultPlane>, clock: Clock) -> Arc<Self> {
+        Arc::new(VfioGroup {
+            id,
+            bdf,
+            attached: Mutex::new(None),
+            attach_count: AtomicU64::new(0),
+            faults: Some((plane, clock)),
         })
     }
 
@@ -49,6 +66,9 @@ impl VfioGroup {
     /// (`VFIO_GROUP_SET_CONTAINER`). Idempotent for the same owner;
     /// refused while another owner holds it.
     pub fn attach(&self, pid: u64) -> Result<()> {
+        if let Some((plane, clock)) = &self.faults {
+            plane.check(sites::VFIO_GROUP_ATTACH, pid, clock)?;
+        }
         let mut owner = self.attached.lock();
         match *owner {
             None => {

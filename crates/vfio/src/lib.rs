@@ -32,6 +32,7 @@ pub use devset::{DevSet, DevsetManager, VfioDevice, VfioDeviceFd, VfioStats};
 pub use group::VfioGroup;
 pub use locking::{ChildLock, LockPolicy, ParentChildLock};
 
+use fastiov_faults::FaultError;
 use fastiov_hostmem::MemError;
 use fastiov_iommu::IommuError;
 use fastiov_pci::{Bdf, PciError};
@@ -69,6 +70,18 @@ pub enum VfioError {
     Iommu(IommuError),
     /// Underlying PCI error.
     Pci(PciError),
+    /// Fault injected by the fault plane.
+    Injected(FaultError),
+}
+
+impl VfioError {
+    /// The injected fault behind this error, if any.
+    pub fn injected(&self) -> Option<&FaultError> {
+        match self {
+            VfioError::Injected(f) => Some(f),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for VfioError {
@@ -90,6 +103,7 @@ impl fmt::Display for VfioError {
             VfioError::Mem(e) => write!(f, "memory: {e}"),
             VfioError::Iommu(e) => write!(f, "iommu: {e}"),
             VfioError::Pci(e) => write!(f, "pci: {e}"),
+            VfioError::Injected(e) => write!(f, "{e}"),
         }
     }
 }
@@ -111,6 +125,12 @@ impl From<IommuError> for VfioError {
 impl From<PciError> for VfioError {
     fn from(e: PciError) -> Self {
         VfioError::Pci(e)
+    }
+}
+
+impl From<FaultError> for VfioError {
+    fn from(e: FaultError) -> Self {
+        VfioError::Injected(e)
     }
 }
 

@@ -8,6 +8,7 @@
 //! re-zeroes it before the new tenant's read completes (§4.3.2's
 //! correctness argument, applied a second time).
 
+use fastiov_repro::faults::{sites, Effect, FaultConfig, FaultPoint, Trigger};
 use fastiov_repro::hostmem::FrameId;
 use fastiov_repro::{Baseline, ExperimentConfig};
 
@@ -75,6 +76,63 @@ fn recycled_pod_frames_never_expose_prior_tenant_bytes() {
     for pod in claimed.iter().chain([&reused]) {
         engine.teardown_pod(pod).unwrap();
     }
+}
+
+/// A microVM whose recycle fails (injected fault at the scrub step) must
+/// be retired, never re-parked: a VM that cannot be proven clean never
+/// serves another tenant. The next pod cold-boots instead and reads
+/// zeros where the previous tenant's secret lived.
+#[test]
+fn injected_recycle_failure_evicts_vm_instead_of_reparking_it() {
+    let mut cfg = ExperimentConfig::smoke(Baseline::WarmPool(1), 2);
+    // First recycle attempt of every tenant fails; nothing else does.
+    cfg.faults = FaultConfig::uniform(7, 0.0).with_point(FaultPoint {
+        site: sites::POOL_RECYCLE,
+        trigger: Trigger::Once(1),
+        effect: Effect::Error,
+    });
+    cfg.pool_watermark = Some(0);
+    let (host, engine) = cfg.build().unwrap();
+    let pool = engine.pool().expect("warm pool configured").clone();
+
+    // Tenant one claims the only warm VM and leaves a secret behind.
+    let pod = engine.run_pod(0).unwrap();
+    let pool_pid = pod.pool_pid.expect("pod came from the pool");
+    let gpa = pod.vm.layout().app_gpa;
+    pod.vm.vm().write_gpa(gpa, &[0x5au8; 128]).unwrap();
+
+    // Teardown hands the VM back — and the injected fault kills the
+    // recycle. The pool must count the failure and retire the VM.
+    engine.teardown_pod(&pod).unwrap();
+    pool.wait_idle();
+    let stats = pool.stats();
+    assert_eq!(stats.recycled, 0, "failed recycle must not count");
+    assert_eq!(stats.recycle_failures, 1);
+    assert_eq!(stats.size, 0, "unclean vm must not re-enter the pool");
+    assert_eq!(host.faults.report_for(sites::POOL_RECYCLE).fallbacks, 1);
+
+    // The retired VM's frames were all released.
+    let total = host.mem.stats().total_frames;
+    for i in 0..total {
+        assert_ne!(
+            host.mem.owner_of(FrameId(i)).unwrap(),
+            Some(pool_pid),
+            "retired vm {pool_pid} still owns frame {i}"
+        );
+    }
+
+    // Tenant two cannot be served by the dead VM: the pool is empty, so
+    // it cold-boots — and sees zeros at the secret's address.
+    let pod2 = engine.run_pod(1).unwrap();
+    assert_eq!(pod2.pool_pid, None, "evicted vm was re-claimed");
+    let mut buf = [0xffu8; 128];
+    pod2.vm.vm().read_gpa(gpa, &mut buf).unwrap();
+    assert_eq!(buf, [0u8; 128], "previous tenant's bytes leaked");
+    engine.teardown_pod(&pod2).unwrap();
+
+    let stats = pool.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.misses, 1);
 }
 
 /// When every warm VM is claimed, further pods fall back to the cold
