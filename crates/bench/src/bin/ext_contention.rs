@@ -1,0 +1,237 @@
+//! Extension experiment: DMA hot-path lock contention under sharding.
+//!
+//! Not a paper figure — this sweeps the shard count of the two locks the
+//! FastIOV cold path hammers hardest (the hostmem free list and the
+//! fastiovd tier-1 table) and reports latency percentiles next to the
+//! per-lock wait/hold ranking from the
+//! [`fastiov_simtime::ContentionCounter`] instrumentation. At `shards=1`
+//! the build is configuration-identical to the pre-sharding code path
+//! (one global free-list lock, one tier-1 lock); the cost model never
+//! changes with the shard count, only which lock a launch queues on.
+//!
+//! Two phases per shard count:
+//!
+//! 1. **launch cells** — a full concurrent startup wave (the paper's
+//!    burst regime). Startup here is devset/admin-dominated, so these
+//!    cells pin end-to-end behavior: same success counts, same
+//!    registered-page totals, no teardown residue at every shard count.
+//! 2. **hot-path wave** — `conc` barrier-released workers drive the
+//!    allocate → register → pin → map pipeline (and its teardown mirror)
+//!    back to back, the 200-simultaneous-launch shape of §3.2 without
+//!    the stagger of the earlier stages. The simulated clock is
+//!    wall-clock backed, so real lock queueing surfaces as latency; this
+//!    is where the sharding acceptance (p99 ≥ 20 % better at shards ≥ 8
+//!    than the single-lock configuration) is evaluated.
+//!
+//! Output: tables plus `BENCH_contention.json`. The JSON's
+//! `contention` section is **byte-identical across runs with the same
+//! `--seed`** (only schedule-independent counts); wall-clock percentiles
+//! and lock rankings are appended under `timings` only with `--timings`.
+//!
+//! Usage: `ext_contention [--seed N] [--scale F] [--conc N] [--smoke] [--timings]`
+
+use fastiov_bench::contention::{
+    deterministic_json, run_cell, run_hotpath, timings_json, CellResult, HotPathResult,
+};
+use fastiov_bench::json::{write_bench_json, Obj};
+use fastiov_bench::{banner, pct, HarnessOpts};
+
+/// Pages per hot-path round: a 128 MB guest (64 × 2 MB) plus a 64 MB
+/// image region (32 × 2 MB), matching the launch cells' guest size.
+const HOTPATH_PAGES: usize = 96;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let timings = std::env::args().any(|a| a == "--timings");
+
+    // The full sweep is the acceptance configuration (200-way, single
+    // lock vs sharded); --smoke is a fast CI-sized pass that still
+    // crosses the 1 → sharded boundary.
+    let shard_sweep: Vec<usize> = if smoke { vec![1, 4] } else { vec![1, 8, 16] };
+    let conc = opts.conc.unwrap_or(if smoke { 24 } else { 200 });
+    let rounds: u32 = if smoke { 2 } else { 4 };
+
+    banner(&format!(
+        "ext: DMA hot-path contention — shard sweep {shard_sweep:?} at {conc} concurrent launches"
+    ));
+    println!("seed {}  scale {}", opts.seed, opts.scale);
+
+    let mut cells: Vec<CellResult> = Vec::new();
+    let mut hot: Vec<HotPathResult> = Vec::new();
+    for &shards in &shard_sweep {
+        let cell = run_cell(&opts, shards, conc);
+        println!(
+            "cell shards={:<3} launch wave done: {}/{} started, p99 {:.2}s",
+            shards,
+            cell.succeeded,
+            cell.succeeded + cell.failed,
+            cell.p99_s
+        );
+        cells.push(cell);
+        let h = run_hotpath(&opts, shards, conc, rounds, HOTPATH_PAGES);
+        println!(
+            "cell shards={:<3} hot-path wave done: {} ops, p99 {:.1}ms",
+            shards, h.ops, h.p99_ms
+        );
+        hot.push(h);
+    }
+
+    let base = &cells[0];
+    banner("launch waves (full startup, devset/admin-dominated)");
+    println!(
+        "{:<8} {:>10} {:>9} {:>9} {:>8} {:>22}",
+        "shards", "started", "p50 (s)", "p99 (s)", "stolen", "top waiter"
+    );
+    for c in &cells {
+        println!(
+            "{:<8} {:>10} {:>9.2} {:>9.2} {:>8} {:>22}",
+            c.shards,
+            format!("{}/{}", c.succeeded, c.succeeded + c.failed),
+            c.p50_s,
+            c.p99_s,
+            c.frames_stolen,
+            c.top_waiter()
+        );
+    }
+
+    let hot_base = &hot[0];
+    banner("hot-path waves (allocate→register→pin→map, barrier-released)");
+    println!(
+        "{:<8} {:>8} {:>10} {:>10} {:>14} {:>8} {:>22}",
+        "shards", "ops", "p50 (ms)", "p99 (ms)", "p99 vs 1 (%)", "stolen", "top waiter"
+    );
+    for h in &hot {
+        let delta = if hot_base.p99_ms > 0.0 {
+            (hot_base.p99_ms - h.p99_ms) / hot_base.p99_ms
+        } else {
+            0.0
+        };
+        println!(
+            "{:<8} {:>8} {:>10.1} {:>10.1} {:>14} {:>8} {:>22}",
+            h.shards,
+            h.ops,
+            h.p50_ms,
+            h.p99_ms,
+            pct(delta),
+            h.frames_stolen,
+            h.top_waiter()
+        );
+    }
+
+    for h in [hot_base, hot.last().expect("non-empty sweep")] {
+        println!(
+            "\nhot-path lock ranking at shards={} (real time):",
+            h.shards
+        );
+        for (name, s) in &h.locks {
+            println!(
+                "  {name:<20} wait {:>9.2} ms  hold {:>9.2} ms  acq {:>7}  mean wait {:>7.1} us",
+                s.wait_ns as f64 / 1e6,
+                s.hold_ns as f64 / 1e6,
+                s.acquisitions,
+                s.mean_wait_ns() / 1e3
+            );
+        }
+    }
+
+    banner("acceptance");
+    let mut failures: Vec<String> = Vec::new();
+    for c in &cells {
+        if c.failed > 0 {
+            failures.push(format!(
+                "{} launches failed at shards={}",
+                c.failed, c.shards
+            ));
+        }
+        if c.tracked_residue != 0 {
+            failures.push(format!(
+                "{} pages still tracked after teardown at shards={}",
+                c.tracked_residue, c.shards
+            ));
+        }
+    }
+    // Every launch cell registers the same page population: sharding must
+    // not change what flows through the lazy-zeroing pipeline, only which
+    // lock it queues on.
+    if cells
+        .iter()
+        .any(|c| c.registered_pages != base.registered_pages)
+    {
+        failures.push("registered-page totals differ across shard counts".into());
+    }
+    if hot.iter().any(|h| h.ops != (h.conc * h.rounds) as usize) {
+        failures.push("hot-path rounds went missing".into());
+    }
+    // The headline criterion (full sweep only — smoke cells are too small
+    // for stable tails): at >=8 shards the hot-path p99 beats the
+    // single-lock configuration by >=20%, and the two sharded lock
+    // families drop out of the top of the wait ranking.
+    if !smoke {
+        let best_sharded = hot
+            .iter()
+            .filter(|h| h.shards >= 8)
+            .map(|h| h.p99_ms)
+            .fold(f64::INFINITY, f64::min);
+        let improvement = (hot_base.p99_ms - best_sharded) / hot_base.p99_ms.max(f64::EPSILON);
+        println!(
+            "hot-path p99: shards=1 {:.1}ms -> best sharded {:.1}ms ({}% better, need >=20%)",
+            hot_base.p99_ms,
+            best_sharded,
+            pct(improvement)
+        );
+        if improvement < 0.20 {
+            failures.push(format!(
+                "hot-path p99 improved only {}% at shards>=8 (need >=20%)",
+                pct(improvement)
+            ));
+        }
+        // "No longer the top waiters" in counter terms: every other lock
+        // on this path is per-VM and never contends, so rank alone is
+        // meaningless once waits collapse — instead require the two
+        // sharded lock families *together* to shed >=75% of their
+        // single-lock accumulated wait time (individually either can sit
+        // at noise level even before sharding).
+        let sharded_wait = |h: &HotPathResult| {
+            h.locks
+                .iter()
+                .filter(|(n, _)| *n == "hostmem.free_list" || *n == "fastiovd.tier1")
+                .map(|(_, s)| s.wait_ns)
+                .sum::<u64>()
+        };
+        let single = sharded_wait(hot_base).max(1);
+        for h in hot.iter().filter(|h| h.shards >= 8) {
+            let frac = sharded_wait(h) as f64 / single as f64;
+            println!(
+                "free-list + tier-1 wait at shards={}: {:.1}% of the single-lock build",
+                h.shards,
+                frac * 100.0
+            );
+            if frac > 0.25 {
+                failures.push(format!(
+                    "free-list + tier-1 kept {}% of their single-lock wait at shards={}",
+                    pct(frac),
+                    h.shards
+                ));
+            }
+        }
+    }
+
+    let mut doc = Obj::new().raw("contention", deterministic_json(&opts, &cells, &hot));
+    if timings {
+        doc = doc.raw("timings", timings_json(&cells, &hot));
+    }
+    match write_bench_json("contention", &doc.render()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => failures.push(format!("writing BENCH_contention.json: {e}")),
+    }
+
+    if failures.is_empty() {
+        println!("all acceptance checks passed");
+    } else {
+        for f in &failures {
+            println!("FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -19,6 +19,7 @@
 use fastiov::faults::FaultConfig;
 use fastiov::hostmem::addr::units::mib;
 use fastiov::{Baseline, ExperimentConfig};
+use fastiov_bench::json::{array, write_bench_json, Obj};
 use fastiov_bench::{banner, pct, HarnessOpts};
 use std::collections::BTreeMap;
 
@@ -43,6 +44,7 @@ fn main() {
 
     let mut recovered = Recovered::default();
     let mut failures: Vec<String> = Vec::new();
+    let mut json_cells: Vec<String> = Vec::new();
 
     for &conc in &concs {
         for &rate in &rates {
@@ -60,6 +62,7 @@ fn main() {
                     timings,
                     &mut recovered,
                     &mut failures,
+                    &mut json_cells,
                 );
             }
         }
@@ -86,6 +89,19 @@ fn main() {
             healing_sites.len()
         ));
     }
+    // Machine-readable trajectory artifact. Everything in it is
+    // schedule-independent (the same quantities the deterministic stdout
+    // prints), so same-seed runs produce identical bytes.
+    let doc = Obj::new()
+        .str("bench", "faults")
+        .u64("seed", opts.seed)
+        .f64("scale", opts.scale)
+        .raw("cells", array(json_cells))
+        .render();
+    match write_bench_json("faults", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => failures.push(format!("writing BENCH_faults.json: {e}")),
+    }
     if failures.is_empty() {
         println!("all acceptance checks passed");
     } else {
@@ -105,6 +121,7 @@ fn run_cell(
     timings: bool,
     recovered: &mut Recovered,
     failures: &mut Vec<String>,
+    json_cells: &mut Vec<String>,
 ) {
     let mut cfg = ExperimentConfig::paper_scaled(baseline, conc, opts.scale);
     // Smaller guests than the paper's measurement VMs: fault-plane
@@ -173,6 +190,22 @@ fn run_cell(
         }
     }
 
+    let cell = Obj::new()
+        .str("baseline", &baseline.label())
+        .u64("conc", u64::from(conc))
+        .f64("rate", rate)
+        .usize("succeeded", summary.succeeded)
+        .usize("failed", summary.failed)
+        .raw(
+            "classes",
+            array(
+                summary
+                    .classes
+                    .iter()
+                    .map(|(c, n)| Obj::new().str("class", c).usize("count", *n).render()),
+            ),
+        );
+
     if rate == 0.0 {
         println!(
             "  fault plane disabled; injected errors: {}",
@@ -184,16 +217,29 @@ fn run_cell(
                 baseline.label()
             ));
         }
+        json_cells.push(cell.render());
         return;
     }
 
+    let mut sites: Vec<String> = Vec::new();
     for (site, s) in host.faults.report() {
         println!(
             "  site {site:<18} checks={:<6} errors={:<4} delays={:<4} retries={:<4} fallbacks={}",
             s.checks, s.errors, s.delays, s.retries, s.fallbacks
         );
         *recovered.by_site.entry(site).or_insert(0) += s.retries + s.fallbacks;
+        sites.push(
+            Obj::new()
+                .str("site", site)
+                .u64("checks", s.checks)
+                .u64("errors", s.errors)
+                .u64("delays", s.delays)
+                .u64("retries", s.retries)
+                .u64("fallbacks", s.fallbacks)
+                .render(),
+        );
     }
+    json_cells.push(cell.raw("sites", array(sites)).render());
 
     if summary.classes.iter().any(|(c, _)| *c == "launch-panic") {
         failures.push(format!(

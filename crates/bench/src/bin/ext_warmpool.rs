@@ -17,8 +17,31 @@ use fastiov::engine::SustainedConfig;
 use fastiov::experiment::summarize;
 use fastiov::pool::PoolStats;
 use fastiov::{Baseline, StartupRunResult, Table};
+use fastiov_bench::json::{array, write_bench_json, Obj};
 use fastiov_bench::{banner, pct, s, HarnessOpts};
 use std::time::Duration;
+
+/// One run's row in `BENCH_warmpool.json`. Latency fields are wall-clock
+/// derived and pool hits depend on the replenisher race, so this artifact
+/// is a trajectory record, not a determinism surface.
+fn json_row(label: &str, rate: f64, run: &StartupRunResult, stats: Option<&PoolStats>) -> String {
+    let mut o = Obj::new()
+        .str("run", label)
+        .f64("rate_per_s", rate)
+        .usize("pods", run.reports.len())
+        .f64("mean_s", run.total.mean.as_secs_f64())
+        .f64("p50_s", run.total.p50.as_secs_f64())
+        .f64("p99_s", run.total.p99.as_secs_f64());
+    if let Some(p) = stats {
+        o = o
+            .u64("hits", p.hits)
+            .u64("misses", p.misses)
+            .f64("hit_rate", p.hit_rate())
+            .u64("provisioned", p.provisioned)
+            .u64("recycled", p.recycled);
+    }
+    o.render()
+}
 
 /// Warm-pool capacity for the pooled baseline.
 const POOL_CAPACITY: u16 = 24;
@@ -135,6 +158,25 @@ fn main() {
         over_stats.hits, over_stats.misses
     );
     println!("FastIOV path (no failures); startup degrades toward cold, not to errors.");
+    let doc = Obj::new()
+        .str("bench", "warmpool")
+        .u64("pool_capacity", u64::from(POOL_CAPACITY))
+        .f64("scale", opts.scale)
+        .raw(
+            "runs",
+            array(vec![
+                json_row("vanilla", CALIBRATED_RATE, &vanilla, None),
+                json_row("fastiov-cold", CALIBRATED_RATE, &cold, None),
+                json_row("pooled", CALIBRATED_RATE, &pooled, Some(&stats)),
+                json_row("pooled-overload", OVERLOAD_RATE, &over, Some(&over_stats)),
+            ]),
+        )
+        .render();
+    match write_bench_json("warmpool", &doc) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: writing BENCH_warmpool.json failed: {e}"),
+    }
+
     println!();
     println!("observation: at a sustainable arrival rate the pool turns startup into");
     println!("per-pod identity work (netns + IP/MAC reconfiguration), cutting both the");

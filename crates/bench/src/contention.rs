@@ -1,0 +1,316 @@
+//! Cell runner for the `ext_contention` harness.
+//!
+//! One *cell* is a concurrent FastIOV launch wave at a fixed (shard
+//! count × concurrency) point: every hot-path shard knob — free-list
+//! shards and fastiovd tier-1 shards — is set to the same value, `conc`
+//! pods launch simultaneously, and everything is torn down again so the
+//! unmap/free paths are exercised too.
+//!
+//! Lives in the library (not the binary) so the determinism integration
+//! test can run the same cell twice and compare
+//! [`deterministic_json`] output byte-for-byte. The deterministic
+//! section carries only schedule-independent quantities; wall-clock
+//! percentiles and lock wait/hold rankings are interleaving-dependent
+//! and confined to the separate [`timings_json`] section (opt-in via
+//! `--timings`).
+
+use crate::json::{array, Obj};
+use crate::HarnessOpts;
+use fastiov::hostmem::addr::units::mib;
+use fastiov::microvm::{Host, HostParams};
+use fastiov::simtime::LockSnapshot;
+use fastiov::vfio::LockPolicy;
+use fastiov::{Baseline, ExperimentConfig};
+use std::sync::{Arc, Barrier};
+
+/// Outcome of one (shards × concurrency) cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// Shard count applied to both the free list and fastiovd tier 1.
+    pub shards: usize,
+    /// Concurrent launches.
+    pub conc: u32,
+    /// Pods that started.
+    pub succeeded: usize,
+    /// Pods that failed to start.
+    pub failed: usize,
+    /// Total pages registered with fastiovd for lazy zeroing.
+    pub registered_pages: u64,
+    /// Pages still tracked after every pod was torn down (must be 0).
+    pub tracked_residue: usize,
+    /// Median startup time in simulated seconds (wall-clock derived).
+    pub p50_s: f64,
+    /// p99 startup time in simulated seconds (wall-clock derived).
+    pub p99_s: f64,
+    /// Frames served by work-stealing from a non-home shard.
+    pub frames_stolen: u64,
+    /// Per-lock wait/hold snapshots, worst waiter first.
+    pub locks: Vec<(&'static str, LockSnapshot)>,
+}
+
+impl CellResult {
+    /// Name of the lock with the most accumulated wait time.
+    pub fn top_waiter(&self) -> &'static str {
+        self.locks.first().map(|(n, _)| *n).unwrap_or("-")
+    }
+}
+
+/// Index of quantile `q` in a sorted sample of `len` values (the same
+/// nearest-rank rule the other harnesses use).
+fn quantile_index(len: usize, q: f64) -> usize {
+    ((len - 1) as f64 * q) as usize
+}
+
+/// Runs one cell: a concurrent FastIOV launch wave with both hot-path
+/// shard knobs set to `shards`, followed by full teardown.
+pub fn run_cell(opts: &HarnessOpts, shards: usize, conc: u32) -> CellResult {
+    let mut cfg = ExperimentConfig::paper_scaled(Baseline::FastIov, conc, opts.scale);
+    // Small guests, as in ext_faults: lock contention is RAM-independent
+    // (the allocator charge scales, the lock hold pattern does not) and
+    // this keeps the 200-way cells fast.
+    cfg.ram_bytes = mib(128);
+    cfg.image_bytes = mib(64);
+    cfg.host.mem_shards = shards;
+    cfg.host.fastiovd_shards = shards;
+
+    let (host, engine) = cfg.build().expect("host construction");
+    let outcome = engine.launch_concurrent(conc);
+    let mut totals: Vec<f64> = outcome
+        .pods
+        .iter()
+        .flatten()
+        .map(|p| p.report.total.as_secs_f64())
+        .collect();
+    totals.sort_by(f64::total_cmp);
+    for pod in outcome.pods.iter().flatten() {
+        let _ = engine.teardown_pod(pod);
+    }
+
+    let (p50_s, p99_s) = if totals.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (
+            totals[quantile_index(totals.len(), 0.50)],
+            totals[quantile_index(totals.len(), 0.99)],
+        )
+    };
+    CellResult {
+        shards,
+        conc,
+        succeeded: outcome.summary.succeeded,
+        failed: outcome.summary.failed,
+        registered_pages: host.fastiovd.stats().registered,
+        tracked_residue: host.fastiovd.stats().tracked,
+        p50_s,
+        p99_s,
+        frames_stolen: host.mem.stats().frames_stolen,
+        locks: engine.lock_reports(),
+    }
+}
+
+/// Outcome of one DMA hot-path wave at a fixed shard count.
+///
+/// End-to-end startup at the paper calibration is dominated by the
+/// devset and admin-queue stages, which stagger the launch threads —
+/// the allocator and fastiovd locks never see 200 simultaneous callers
+/// during a full launch. This phase removes the stagger: `conc` worker
+/// threads release from a barrier and drive the exact pipeline this PR
+/// shards (allocate → register → pin → IOMMU map, then the teardown
+/// mirror) back to back, so lock queueing *is* the critical path and the
+/// shard sweep measures it directly. The clock is wall-clock backed, so
+/// real lock waits surface as simulated latency.
+#[derive(Debug, Clone)]
+pub struct HotPathResult {
+    /// Shard count applied to both the free list and fastiovd tier 1.
+    pub shards: usize,
+    /// Concurrent workers (one per simulated launch).
+    pub conc: u32,
+    /// DMA-setup rounds each worker performed.
+    pub rounds: u32,
+    /// Pages allocated/registered/mapped per round.
+    pub pages_per_op: usize,
+    /// Rounds that completed (must be `conc * rounds`).
+    pub ops: usize,
+    /// Total pages pushed through the pipeline.
+    pub pages_mapped: u64,
+    /// Median per-round latency in simulated milliseconds.
+    pub p50_ms: f64,
+    /// p99 per-round latency in simulated milliseconds.
+    pub p99_ms: f64,
+    /// Frames served by work-stealing from a non-home shard.
+    pub frames_stolen: u64,
+    /// Per-lock wait/hold snapshots, worst waiter first.
+    pub locks: Vec<(&'static str, LockSnapshot)>,
+}
+
+impl HotPathResult {
+    /// Name of the lock with the most accumulated wait time.
+    pub fn top_waiter(&self) -> &'static str {
+        self.locks.first().map(|(n, _)| *n).unwrap_or("-")
+    }
+}
+
+/// Runs one DMA hot-path wave: `conc` barrier-released workers, each
+/// doing `rounds` iterations of allocate → register → pin → map →
+/// unmap → unpin → unregister → free against its own IOMMU domain,
+/// with both shard knobs set to `shards`. Returns per-round latency
+/// percentiles in simulated time.
+pub fn run_hotpath(
+    opts: &HarnessOpts,
+    shards: usize,
+    conc: u32,
+    rounds: u32,
+    pages_per_op: usize,
+) -> HotPathResult {
+    let mut params = HostParams::paper_scaled(opts.scale);
+    params.mem_shards = shards;
+    params.fastiovd_shards = shards;
+    let host = Host::new(params, LockPolicy::Hierarchical).expect("host construction");
+
+    let barrier = Arc::new(Barrier::new(conc as usize));
+    let workers: Vec<_> = (0..conc)
+        .map(|i| {
+            let host = Arc::clone(&host);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || -> Vec<f64> {
+                let pid = 10_000 + u64::from(i);
+                let domain = host.iommu.create_domain(host.mem.page_size());
+                barrier.wait();
+                let mut latencies = Vec::with_capacity(rounds as usize);
+                for _ in 0..rounds {
+                    let t0 = host.clock.now();
+                    let ranges = host.mem.alloc_frames(pages_per_op, pid).expect("alloc");
+                    host.fastiovd.register_pages(pid, &ranges);
+                    host.mem.pin_ranges(&ranges).expect("pin");
+                    domain
+                        .map_range(fastiov::hostmem::Iova(0), &ranges, &host.mem)
+                        .expect("map");
+                    domain
+                        .unmap_range(fastiov::hostmem::Iova(0), pages_per_op)
+                        .expect("unmap");
+                    host.mem.unpin_ranges(&ranges).expect("unpin");
+                    host.fastiovd.unregister_vm(pid);
+                    host.mem.free_ranges(&ranges, pid).expect("free");
+                    latencies.push(host.clock.now().duration_since(t0).as_secs_f64() * 1e3);
+                }
+                let _ = host.iommu.destroy_domain(domain.id());
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::with_capacity((conc * rounds) as usize);
+    for w in workers {
+        latencies.extend(w.join().expect("hot-path worker"));
+    }
+    latencies.sort_by(f64::total_cmp);
+    let (p50_ms, p99_ms) = if latencies.is_empty() {
+        (0.0, 0.0)
+    } else {
+        (
+            latencies[quantile_index(latencies.len(), 0.50)],
+            latencies[quantile_index(latencies.len(), 0.99)],
+        )
+    };
+
+    let mut locks = host.lock_reports();
+    locks.sort_by_key(|(_, s)| std::cmp::Reverse(s.wait_ns));
+    HotPathResult {
+        shards,
+        conc,
+        rounds,
+        pages_per_op,
+        ops: latencies.len(),
+        pages_mapped: latencies.len() as u64 * pages_per_op as u64,
+        p50_ms,
+        p99_ms,
+        frames_stolen: host.mem.stats().frames_stolen,
+        locks,
+    }
+}
+
+fn locks_json(locks: &[(&'static str, LockSnapshot)]) -> String {
+    array(locks.iter().map(|(name, s)| {
+        Obj::new()
+            .str("name", name)
+            .f64("wait_ms", s.wait_ns as f64 / 1e6)
+            .f64("hold_ms", s.hold_ns as f64 / 1e6)
+            .u64("acquisitions", s.acquisitions)
+            .render()
+    }))
+}
+
+/// The schedule-independent section: identical bytes for identical
+/// `(seed, scale, cells, hot)` inputs, whatever the thread interleaving
+/// did.
+pub fn deterministic_json(
+    opts: &HarnessOpts,
+    cells: &[CellResult],
+    hot: &[HotPathResult],
+) -> String {
+    Obj::new()
+        .str("bench", "contention")
+        .u64("seed", opts.seed)
+        .f64("scale", opts.scale)
+        .raw(
+            "cells",
+            array(cells.iter().map(|c| {
+                Obj::new()
+                    .usize("shards", c.shards)
+                    .u64("conc", u64::from(c.conc))
+                    .usize("succeeded", c.succeeded)
+                    .usize("failed", c.failed)
+                    .u64("registered_pages", c.registered_pages)
+                    .usize("tracked_residue", c.tracked_residue)
+                    .render()
+            })),
+        )
+        .raw(
+            "hotpath",
+            array(hot.iter().map(|h| {
+                Obj::new()
+                    .usize("shards", h.shards)
+                    .u64("conc", u64::from(h.conc))
+                    .u64("rounds", u64::from(h.rounds))
+                    .usize("pages_per_op", h.pages_per_op)
+                    .usize("ops", h.ops)
+                    .u64("pages_mapped", h.pages_mapped)
+                    .render()
+            })),
+        )
+        .render()
+}
+
+/// The indicative section: wall-clock-derived percentiles, steal counts
+/// and the lock rankings. Varies run to run — never part of the
+/// determinism check.
+pub fn timings_json(cells: &[CellResult], hot: &[HotPathResult]) -> String {
+    Obj::new()
+        .raw(
+            "cells",
+            array(cells.iter().map(|c| {
+                Obj::new()
+                    .usize("shards", c.shards)
+                    .u64("conc", u64::from(c.conc))
+                    .f64("p50_s", c.p50_s)
+                    .f64("p99_s", c.p99_s)
+                    .u64("frames_stolen", c.frames_stolen)
+                    .raw("locks", locks_json(&c.locks))
+                    .render()
+            })),
+        )
+        .raw(
+            "hotpath",
+            array(hot.iter().map(|h| {
+                Obj::new()
+                    .usize("shards", h.shards)
+                    .u64("conc", u64::from(h.conc))
+                    .f64("p50_ms", h.p50_ms)
+                    .f64("p99_ms", h.p99_ms)
+                    .u64("frames_stolen", h.frames_stolen)
+                    .raw("locks", locks_json(&h.locks))
+                    .render()
+            })),
+        )
+        .render()
+}

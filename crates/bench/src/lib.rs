@@ -8,6 +8,9 @@
 
 #![warn(missing_docs)]
 
+pub mod contention;
+pub mod json;
+
 use fastiov::{Baseline, ExperimentConfig};
 use std::time::Duration;
 

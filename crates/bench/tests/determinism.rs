@@ -1,0 +1,33 @@
+//! Two same-seed `ext_contention` runs must produce byte-identical
+//! deterministic JSON (ISSUE 3 satellite). The deterministic section
+//! carries only schedule-independent counts; the opt-in `--timings`
+//! section is explicitly excluded from this guarantee.
+
+use fastiov_bench::contention::{deterministic_json, run_cell, run_hotpath};
+use fastiov_bench::HarnessOpts;
+
+fn one_run(opts: &HarnessOpts) -> String {
+    let cells = vec![run_cell(opts, 1, 6), run_cell(opts, 4, 6)];
+    let hot = vec![
+        run_hotpath(opts, 1, 4, 2, 16),
+        run_hotpath(opts, 4, 4, 2, 16),
+    ];
+    deterministic_json(opts, &cells, &hot)
+}
+
+#[test]
+fn same_seed_runs_produce_identical_json() {
+    let opts = HarnessOpts {
+        scale: 2e-4,
+        conc: None,
+        seed: 7,
+    };
+    let a = one_run(&opts);
+    let b = one_run(&opts);
+    assert_eq!(a, b, "same-seed ext_contention runs diverged");
+    // Sanity: the document carries the run parameters and real counts.
+    assert!(a.contains("\"bench\":\"contention\""), "{a}");
+    assert!(a.contains("\"seed\":7"), "{a}");
+    assert!(a.contains("\"shards\":4"), "{a}");
+    assert!(a.contains("\"tracked_residue\":0"), "{a}");
+}

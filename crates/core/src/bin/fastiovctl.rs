@@ -8,6 +8,7 @@
 //! fastiovctl app --app image --baseline vanilla --conc 50
 //! fastiovctl pool --capacity 16 --pods 32 [--rate 20] [--scale 0.002]
 //! fastiovctl faults --baseline pool16 --conc 50 [--rate 0.01] [--seed 1]
+//! fastiovctl contention --conc 50 [--shards 8] [--baseline fastiov]
 //! fastiovctl memperf
 //! ```
 //!
@@ -95,6 +96,11 @@ fn config(flags: &HashMap<String, String>, baseline: Baseline) -> ExperimentConf
     if let Some(vcpus) = flags.get("vcpus") {
         cfg.vcpus = vcpus.parse().expect("--vcpus takes a float");
     }
+    if let Some(shards) = flags.get("shards") {
+        let n: usize = shards.parse().expect("--shards takes an integer");
+        cfg.host.mem_shards = n;
+        cfg.host.fastiovd_shards = n;
+    }
     cfg
 }
 
@@ -155,7 +161,8 @@ fn usage() -> ExitCode {
          [--scale F]\n  fastiovctl app --app <image|compression|scientific|inference> \
          --baseline <name> [--conc N]\n  fastiovctl pool [--capacity N] [--pods N] \
          [--rate F] [--hold-ms M] [--scale F]\n  fastiovctl faults [--baseline <name>] \
-         [--conc N] [--rate F] [--seed N] [--scale F]\n  fastiovctl memperf [--scale F]"
+         [--conc N] [--rate F] [--seed N] [--scale F]\n  fastiovctl contention \
+         [--baseline <name>] [--conc N] [--shards N] [--scale F]\n  fastiovctl memperf [--scale F]"
     );
     ExitCode::FAILURE
 }
@@ -377,6 +384,52 @@ fn main() -> ExitCode {
                     s.delays.to_string(),
                     s.retries.to_string(),
                     s.fallbacks.to_string(),
+                ]);
+            }
+            println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        "contention" => {
+            let b = flags
+                .get("baseline")
+                .map(|n| baseline_from(n).expect("unknown baseline"))
+                .unwrap_or(Baseline::FastIov);
+            let cfg = config(&flags, b);
+            let (_host, engine) = match cfg.build() {
+                Ok(built) => built,
+                Err(e) => return fail(&e),
+            };
+            let outcome = engine.launch_concurrent(cfg.concurrency);
+            for pod in outcome.pods.iter().flatten() {
+                let _ = engine.teardown_pod(pod);
+            }
+            if let Some(pool) = engine.pool() {
+                pool.wait_idle();
+            }
+            println!(
+                "{} at conc {} (shards: mem={} fastiovd={}): {}",
+                b.label(),
+                cfg.concurrency,
+                cfg.host.mem_shards,
+                cfg.host.fastiovd_shards,
+                outcome.summary
+            );
+            let mut t = Table::new(vec![
+                "lock",
+                "wait (ms)",
+                "hold (ms)",
+                "acquisitions",
+                "mean wait (us)",
+            ]);
+            // Real (wall-clock) time: a relative ranking of which lock
+            // launch threads queued on, not a simulated-cost figure.
+            for (name, s) in engine.lock_reports() {
+                t.row(vec![
+                    name.to_string(),
+                    format!("{:.2}", s.wait_ns as f64 / 1e6),
+                    format!("{:.2}", s.hold_ns as f64 / 1e6),
+                    s.acquisitions.to_string(),
+                    format!("{:.1}", s.mean_wait_ns() / 1e3),
                 ]);
             }
             println!("{}", t.render());

@@ -21,9 +21,9 @@
 use fastiov_faults::{sites, FaultPlane};
 use fastiov_hostmem::{FrameId, FrameRange, Hpa, PhysMemory};
 use fastiov_kvm::EptFaultHook;
-use fastiov_simtime::{Clock, SimInstant};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use fastiov_simtime::{Clock, ContentionCounter, LockSnapshot, SimInstant};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,6 +42,11 @@ pub struct PageInfo {
 struct VmTable {
     /// HPA page base → info.
     pages: HashMap<u64, PageInfo>,
+    /// Registration-order queue of HPA keys. The scrubber pops FIFO
+    /// victims from the front instead of sorting every tracked key per
+    /// sweep; keys already untracked by an EPT fault or the instant list
+    /// are stale and skipped on pop.
+    order: VecDeque<u64>,
 }
 
 /// Counters exposed by [`Fastiovd::stats`].
@@ -59,48 +64,107 @@ pub struct FastiovdStats {
     pub registered: u64,
 }
 
+/// One tier-1 shard: the PID → VM-table slice owned by `pid % N`.
+type Tier1Shard = RwLock<HashMap<u64, Arc<Mutex<VmTable>>>>;
+
 /// The module state.
+///
+/// The first tier (PID → VM table) is sharded by `pid % N` with an
+/// `RwLock` per shard: EPT faults and registrations of different VMs take
+/// disjoint locks, and even same-shard lookups share a read lock. The
+/// page count is an atomic ([`FastiovdStats::tracked`]) so `stats()`
+/// never walks the tables.
 pub struct Fastiovd {
     mem: Arc<PhysMemory>,
     clock: Clock,
-    /// First tier: PID → VM table.
-    outer: Mutex<HashMap<u64, Arc<Mutex<VmTable>>>>,
+    /// First tier, sharded: shard `pid % N` maps PID → VM table.
+    shards: Box<[Tier1Shard]>,
+    tier1_lock: ContentionCounter,
+    /// Pages currently tracked across all VMs.
+    tracked: AtomicU64,
     lazily_zeroed: AtomicU64,
     background_zeroed: AtomicU64,
     instantly_zeroed: AtomicU64,
     registered: AtomicU64,
     scrub_running: AtomicBool,
-    /// Fault plane consulted when the DMA-map path registers pages.
-    faults: Mutex<Arc<FaultPlane>>,
+    /// Fault plane consulted when the DMA-map path registers pages. Read
+    /// on the hot path (RwLock, never write-contended after setup) and
+    /// skipped entirely while `faults_enabled` is false.
+    faults: RwLock<Arc<FaultPlane>>,
+    faults_enabled: AtomicBool,
 }
 
 impl Fastiovd {
-    /// Loads the module.
+    /// Loads the module with a single tier-1 shard (the pre-sharding
+    /// behaviour: every VM behind one lock).
     pub fn new(clock: Clock, mem: Arc<PhysMemory>) -> Arc<Self> {
+        Self::with_shards(clock, mem, 1)
+    }
+
+    /// Loads the module with `shards` tier-1 shards (clamped to ≥ 1).
+    /// Shard count is semantically transparent — it only changes which
+    /// lock a given PID contends on.
+    pub fn with_shards(clock: Clock, mem: Arc<PhysMemory>, shards: usize) -> Arc<Self> {
+        let shards = shards.max(1);
         Arc::new(Fastiovd {
             mem,
             clock,
-            outer: Mutex::new(HashMap::new()),
+            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            tier1_lock: ContentionCounter::new(),
+            tracked: AtomicU64::new(0),
             lazily_zeroed: AtomicU64::new(0),
             background_zeroed: AtomicU64::new(0),
             instantly_zeroed: AtomicU64::new(0),
             registered: AtomicU64::new(0),
             scrub_running: AtomicBool::new(false),
-            faults: Mutex::new(FaultPlane::disabled()),
+            faults: RwLock::new(FaultPlane::disabled()),
+            faults_enabled: AtomicBool::new(false),
         })
     }
 
     /// Installs the fault plane for the registration path.
     pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
-        *self.faults.lock() = plane;
+        self.faults_enabled
+            .store(plane.is_enabled(), Ordering::Release);
+        *self.faults.write() = plane;
+    }
+
+    /// Number of tier-1 shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The simulation clock the module runs on.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Accumulated wait/hold time on the tier-1 shard locks.
+    pub fn tier1_lock_stats(&self) -> LockSnapshot {
+        self.tier1_lock.snapshot()
+    }
+
+    fn shard_for(&self, pid: u64) -> &RwLock<HashMap<u64, Arc<Mutex<VmTable>>>> {
+        &self.shards[(pid % self.shards.len() as u64) as usize]
     }
 
     fn vm_table(&self, pid: u64) -> Arc<Mutex<VmTable>> {
-        Arc::clone(
-            self.outer
-                .lock()
-                .entry(pid)
-                .or_insert_with(|| Arc::new(Mutex::new(VmTable::default()))),
+        let shard = self.shard_for(pid);
+        // Fast path: the table exists; a read lock suffices.
+        if let Some(t) = self
+            .tier1_lock
+            .timed(|| shard.read(), |g| g.get(&pid).cloned())
+        {
+            return t;
+        }
+        self.tier1_lock.timed(
+            || shard.write(),
+            |mut g| {
+                Arc::clone(
+                    g.entry(pid)
+                        .or_insert_with(|| Arc::new(Mutex::new(VmTable::default()))),
+                )
+            },
         )
     }
 
@@ -119,12 +183,13 @@ impl Fastiovd {
     /// than the pool VM's pid, because pod-to-pool-VM assignment depends
     /// on thread interleaving while the tenant set does not.
     pub fn register_pages_keyed(&self, pid: u64, fault_key: u64, ranges: &[FrameRange]) -> bool {
-        {
-            let plane = self.faults.lock();
-            if plane.is_enabled()
-                && plane
-                    .check(sites::SCRUB_REGISTER, fault_key, &self.clock)
-                    .is_err()
+        // The enabled flag is an atomic so the common (fault-free) case
+        // takes no lock at all here.
+        if self.faults_enabled.load(Ordering::Acquire) {
+            let plane = Arc::clone(&self.faults.read());
+            if plane
+                .check(sites::SCRUB_REGISTER, fault_key, &self.clock)
+                .is_err()
             {
                 plane.note_fallback(sites::SCRUB_REGISTER);
                 return false;
@@ -134,18 +199,28 @@ impl Fastiovd {
         let now = self.clock.now();
         let mut t = table.lock();
         let mut n = 0u64;
+        let mut fresh = 0u64;
         for r in ranges {
             for f in r.iter() {
-                t.pages.insert(
-                    self.mem.hpa_of(f).raw(),
+                let key = self.mem.hpa_of(f).raw();
+                let prev = t.pages.insert(
+                    key,
                     PageInfo {
                         frame: f,
                         registered_at: now,
                     },
                 );
+                if prev.is_none() {
+                    // Re-registered keys keep their original queue slot;
+                    // scrubbing a page early is idempotent and safe.
+                    t.order.push_back(key);
+                    fresh += 1;
+                }
                 n += 1;
             }
         }
+        drop(t);
+        self.tracked.fetch_add(fresh, Ordering::Relaxed);
         self.registered.fetch_add(n, Ordering::Relaxed);
         true
     }
@@ -158,11 +233,15 @@ impl Fastiovd {
         let table = self.vm_table(pid);
         {
             let mut t = table.lock();
+            let mut removed = 0u64;
             for r in ranges {
                 for f in r.iter() {
-                    t.pages.remove(&self.mem.hpa_of(f).raw());
+                    if t.pages.remove(&self.mem.hpa_of(f).raw()).is_some() {
+                        removed += 1;
+                    }
                 }
             }
+            self.tracked.fetch_sub(removed, Ordering::Relaxed);
         }
         let pages: u64 = ranges.iter().map(|r| r.count as u64).sum();
         self.mem.zero_ranges(ranges)?;
@@ -174,41 +253,67 @@ impl Fastiovd {
     /// zeroed — the allocator re-garbles frames on free, and the next
     /// owner zeroes before use. Returns how many pages were still tracked.
     pub fn unregister_vm(&self, pid: u64) -> usize {
-        match self.outer.lock().remove(&pid) {
-            Some(t) => t.lock().pages.len(),
+        let shard = self.shard_for(pid);
+        match self
+            .tier1_lock
+            .timed(|| shard.write(), |mut g| g.remove(&pid))
+        {
+            Some(t) => {
+                let n = t.lock().pages.len();
+                self.tracked.fetch_sub(n as u64, Ordering::Relaxed);
+                n
+            }
             None => 0,
         }
     }
 
     /// One scrubber sweep: zero up to `batch` tracked pages across all
-    /// VMs, oldest registration first within each VM. Returns pages
+    /// VMs, oldest registration first within each VM (FIFO pop from the
+    /// registration-order queue — no per-sweep key sort). Returns pages
     /// zeroed.
     pub fn scrub_once(&self, batch: usize) -> usize {
-        let tables: Vec<Arc<Mutex<VmTable>>> = self.outer.lock().values().cloned().collect();
+        // Cheap idle check: the sweeping thread wakes often and usually
+        // finds nothing; do not touch any table lock in that case.
+        if self.tracked.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
         let mut done = 0;
-        for table in tables {
-            if done >= batch {
-                break;
+        'sweep: for shard in self.shards.iter() {
+            let tables: Vec<Arc<Mutex<VmTable>>> = self
+                .tier1_lock
+                .timed(|| shard.read(), |g| g.values().cloned().collect());
+            for table in tables {
+                if done >= batch {
+                    break 'sweep;
+                }
+                // Claim victims under the lock, zero outside it.
+                let victims: Vec<FrameId> = {
+                    let mut t = table.lock();
+                    let mut v = Vec::new();
+                    while v.len() < batch - done {
+                        let Some(key) = t.order.pop_front() else {
+                            break;
+                        };
+                        // Stale keys (already zeroed by an EPT fault or
+                        // the instant list) are skipped.
+                        if let Some(info) = t.pages.remove(&key) {
+                            v.push(info.frame);
+                        }
+                    }
+                    v
+                };
+                self.tracked
+                    .fetch_sub(victims.len() as u64, Ordering::Relaxed);
+                for f in &victims {
+                    // A racing EPT fault may already have zeroed it; the
+                    // allocator makes zero_frame idempotent and
+                    // unzeroed-only.
+                    let _ = self.mem.zero_frame(*f);
+                }
+                self.background_zeroed
+                    .fetch_add(victims.len() as u64, Ordering::Relaxed);
+                done += victims.len();
             }
-            // Claim victims under the lock, zero outside it.
-            let victims: Vec<FrameId> = {
-                let mut t = table.lock();
-                let mut keys: Vec<u64> = t.pages.keys().copied().collect();
-                keys.sort_unstable_by_key(|k| t.pages[k].registered_at);
-                keys.truncate(batch - done);
-                keys.iter()
-                    .filter_map(|k| t.pages.remove(k))
-                    .map(|info| info.frame)
-                    .collect()
-            };
-            for f in &victims {
-                // A racing EPT fault may already have zeroed it; the
-                // allocator makes zero_frame idempotent and unzeroed-only.
-                let _ = self.mem.zero_frame(*f);
-            }
-            self.background_zeroed
-                .fetch_add(victims.len() as u64, Ordering::Relaxed);
-            done += victims.len();
         }
         done
     }
@@ -237,27 +342,22 @@ impl Fastiovd {
         }
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. Reads only atomics — safe for hot-path callers
+    /// (per-launch summaries, bench loops) at any concurrency.
     pub fn stats(&self) -> FastiovdStats {
-        let tracked = self
-            .outer
-            .lock()
-            .values()
-            .map(|t| t.lock().pages.len())
-            .sum();
         FastiovdStats {
             lazily_zeroed: self.lazily_zeroed.load(Ordering::Relaxed),
             background_zeroed: self.background_zeroed.load(Ordering::Relaxed),
             instantly_zeroed: self.instantly_zeroed.load(Ordering::Relaxed),
-            tracked,
+            tracked: self.tracked.load(Ordering::Relaxed) as usize,
             registered: self.registered.load(Ordering::Relaxed),
         }
     }
 
     /// True if the page at `hpa` of VM `pid` is currently tracked.
     pub fn is_tracked(&self, pid: u64, hpa: Hpa) -> bool {
-        let outer = self.outer.lock();
-        match outer.get(&pid) {
+        let table = self.shard_for(pid).read().get(&pid).cloned();
+        match table {
             Some(t) => t.lock().pages.contains_key(&hpa.raw()),
             None => false,
         }
@@ -269,13 +369,18 @@ impl EptFaultHook for Fastiovd {
     /// If the page is tracked for `pid`, it is zeroed (charged) and
     /// untracked; KVM installs the EPT entry only after this returns.
     fn on_ept_fault(&self, pid: u64, hpa_page: Hpa) -> bool {
-        let table = match self.outer.lock().get(&pid) {
-            Some(t) => Arc::clone(t),
+        let shard = self.shard_for(pid);
+        let table = match self
+            .tier1_lock
+            .timed(|| shard.read(), |g| g.get(&pid).cloned())
+        {
+            Some(t) => t,
             None => return false,
         };
         let info = table.lock().pages.remove(&hpa_page.raw());
         match info {
             Some(info) => {
+                self.tracked.fetch_sub(1, Ordering::Relaxed);
                 let zeroed = self.mem.zero_frame(info.frame).unwrap_or(false);
                 if zeroed {
                     self.lazily_zeroed.fetch_add(1, Ordering::Relaxed);
@@ -436,6 +541,77 @@ mod tests {
         handle.stop();
         assert_eq!(d.stats().tracked, 0);
         assert_eq!(d.stats().background_zeroed, 8);
+    }
+
+    #[test]
+    fn scrub_zeroes_oldest_registration_first() {
+        // Behavioral pin: within a VM the scrubber drains pages in
+        // registration order (oldest first), as the sort-based
+        // implementation did before the FIFO queue.
+        let (mem, d) = setup();
+        let old = mem.alloc_frames(2, 1).unwrap();
+        d.register_pages(1, &old);
+        // Later registration wave for the same VM.
+        d.clock().sleep(Duration::from_millis(1));
+        let newer = mem.alloc_frames(2, 1).unwrap();
+        d.register_pages(1, &newer);
+        assert_eq!(d.scrub_once(2), 2);
+        for r in &old {
+            for f in r.iter() {
+                assert!(!d.is_tracked(1, mem.hpa_of(f)), "oldest scrubbed first");
+            }
+        }
+        for r in &newer {
+            for f in r.iter() {
+                assert!(d.is_tracked(1, mem.hpa_of(f)), "newest still tracked");
+            }
+        }
+    }
+
+    #[test]
+    fn scrub_skips_keys_faulted_away() {
+        // An EPT fault between registration and the sweep leaves a stale
+        // key in the order queue; the sweep must skip it, not double-count.
+        let (mem, d) = setup();
+        let ranges = mem.alloc_frames(4, 1).unwrap();
+        d.register_pages(1, &ranges);
+        let frames: Vec<FrameId> = ranges.iter().flat_map(|r| r.iter()).collect();
+        assert!(d.on_ept_fault(1, mem.hpa_of(frames[0])));
+        assert_eq!(d.scrub_once(100), 3);
+        let s = d.stats();
+        assert_eq!(s.lazily_zeroed, 1);
+        assert_eq!(s.background_zeroed, 3);
+        assert_eq!(s.tracked, 0);
+    }
+
+    #[test]
+    fn sharded_module_isolates_pids_across_shards() {
+        let mem = PhysMemory::new(MemCosts::for_tests(), PageSize::Size2M, 64);
+        let clock = Clock::with_scale(1e-5);
+        let d = Fastiovd::with_shards(clock, Arc::clone(&mem), 4);
+        assert_eq!(d.shard_count(), 4);
+        // PIDs landing on every shard.
+        for pid in 1..=8u64 {
+            let r = mem.alloc_frames(2, pid).unwrap();
+            d.register_pages(pid, &r);
+        }
+        assert_eq!(d.stats().tracked, 16);
+        assert_eq!(d.unregister_vm(3), 2);
+        assert_eq!(d.stats().tracked, 14);
+        assert_eq!(d.scrub_once(1000), 14);
+        assert_eq!(d.stats().tracked, 0);
+        assert!(d.tier1_lock_stats().acquisitions > 0);
+    }
+
+    #[test]
+    fn reregistration_does_not_inflate_tracked() {
+        let (mem, d) = setup();
+        let ranges = mem.alloc_frames(4, 1).unwrap();
+        d.register_pages(1, &ranges);
+        d.register_pages(1, &ranges);
+        assert_eq!(d.stats().tracked, 4);
+        assert_eq!(d.scrub_once(1000), 4);
+        assert_eq!(d.stats().tracked, 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::addr::{Hpa, PageSize};
 use crate::content::PageContent;
 use crate::{MemError, Result};
-use fastiov_simtime::{Clock, CpuPool, FairShareBandwidth};
+use fastiov_simtime::{Clock, ContentionCounter, CpuPool, FairShareBandwidth, LockSnapshot};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -103,6 +103,10 @@ pub struct AllocStats {
     pub frames_zeroed_charged: u64,
     /// Frames zeroed for free by the idle-time pre-zero pass.
     pub frames_prezeroed: u64,
+    /// Free-list shards the allocator runs with.
+    pub shards: usize,
+    /// Frames taken from a non-home shard (work-stealing fallback).
+    pub frames_stolen: u64,
 }
 
 /// The host's physical memory: a fixed array of frames of one page size.
@@ -122,20 +126,48 @@ pub struct PhysMemory {
     costs: MemCosts,
     page: PageSize,
     frames: Vec<Mutex<Frame>>,
-    free: Mutex<FreeList>,
+    /// Free-list shards. Shard `i` owns the contiguous frame-index range
+    /// `[i * frames_per_shard, (i+1) * frames_per_shard)`, so address-ordered
+    /// batching within a shard still produces contiguous runs and the
+    /// fragmentation cost model (§3.2.3) is unchanged.
+    free: Vec<Mutex<FreeList>>,
+    frames_per_shard: usize,
+    free_lock: ContentionCounter,
     nonce: AtomicU64,
     allocations: AtomicU64,
     batches: AtomicU64,
     zeroed_charged: AtomicU64,
     prezeroed: AtomicU64,
+    stolen: AtomicU64,
 }
 
 impl PhysMemory {
     /// Owner id used by [`PhysMemory::inject_fragmentation`].
     pub const OWNER_FRAG: u64 = u64::MAX;
 
-    /// Creates a memory of `total_frames` frames of size `page`.
+    /// Creates a memory of `total_frames` frames of size `page` with a
+    /// single free-list shard (the pre-sharding behaviour: one global
+    /// lock, strictly lowest-address-first allocation).
     pub fn new(costs: MemCosts, page: PageSize, total_frames: usize) -> Arc<Self> {
+        Self::new_sharded(costs, page, total_frames, 1)
+    }
+
+    /// Creates a memory whose free list is split into `shards`
+    /// address-range shards with per-shard mutexes.
+    ///
+    /// An allocation drains its owner's *home shard* (`owner % shards`) in
+    /// address order first and work-steals ring-wise from the remaining
+    /// shards only when the home shard runs dry, so concurrent launches
+    /// touch disjoint locks in the common case. `shards` is clamped to
+    /// `[1, total_frames]`; `shards == 1` is exactly [`PhysMemory::new`].
+    pub fn new_sharded(
+        costs: MemCosts,
+        page: PageSize,
+        total_frames: usize,
+        shards: usize,
+    ) -> Arc<Self> {
+        let shards = shards.clamp(1, total_frames.max(1));
+        let frames_per_shard = total_frames.div_ceil(shards).max(1);
         let frames = (0..total_frames)
             .map(|i| {
                 Mutex::new(Frame {
@@ -146,19 +178,44 @@ impl PhysMemory {
                 })
             })
             .collect();
+        let free = (0..shards)
+            .map(|s| {
+                let lo = s * frames_per_shard;
+                let hi = ((s + 1) * frames_per_shard).min(total_frames);
+                Mutex::new(FreeList {
+                    free: (lo..hi).collect(),
+                })
+            })
+            .collect();
         Arc::new(PhysMemory {
             costs,
             page,
             frames,
-            free: Mutex::new(FreeList {
-                free: (0..total_frames).collect(),
-            }),
+            free,
+            frames_per_shard,
+            free_lock: ContentionCounter::new(),
             nonce: AtomicU64::new(total_frames as u64),
             allocations: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             zeroed_charged: AtomicU64::new(0),
             prezeroed: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
         })
+    }
+
+    /// Number of free-list shards.
+    pub fn shard_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Shard owning frame index `idx`.
+    fn shard_of(&self, idx: usize) -> usize {
+        (idx / self.frames_per_shard).min(self.free.len() - 1)
+    }
+
+    /// Accumulated wait/hold time on the free-list shard locks.
+    pub fn free_lock_stats(&self) -> LockSnapshot {
+        self.free_lock.snapshot()
     }
 
     /// The page size of every frame.
@@ -188,25 +245,51 @@ impl PhysMemory {
 
     /// Allocates `count` frames for `owner`, returning contiguous ranges in
     /// address order and charging the batched-retrieval cost.
+    ///
+    /// The owner's home shard (`owner % shards`) is drained in address
+    /// order first; if it runs dry the remaining shards are visited
+    /// ring-wise (work stealing), each under its own short critical
+    /// section — no two shard locks are ever held at once.
     pub fn alloc_frames(&self, count: usize, owner: u64) -> Result<Vec<FrameRange>> {
         if count == 0 {
             return Ok(Vec::new());
         }
-        // Fast critical section: pick frames and form batches.
-        let ranges = {
-            let mut fl = self.free.lock();
-            if fl.free.len() < count {
-                return Err(MemError::OutOfMemory {
-                    requested: count,
-                    available: fl.free.len(),
-                });
+        let n_shards = self.free.len();
+        let home = (owner as usize) % n_shards;
+        let mut picked: Vec<usize> = Vec::with_capacity(count);
+        for k in 0..n_shards {
+            let need = count - picked.len();
+            if need == 0 {
+                break;
             }
-            let picked: Vec<usize> = fl.free.iter().take(count).copied().collect();
-            for &i in &picked {
-                fl.free.remove(&i);
+            let shard = (home + k) % n_shards;
+            let taken = self.free_lock.timed(
+                || self.free[shard].lock(),
+                |mut fl| {
+                    let taken: Vec<usize> = fl.free.iter().take(need).copied().collect();
+                    for &i in &taken {
+                        fl.free.remove(&i);
+                    }
+                    taken
+                },
+            );
+            if k > 0 {
+                self.stolen.fetch_add(taken.len() as u64, Ordering::Relaxed);
             }
-            coalesce(&picked)
-        };
+            picked.extend(taken);
+        }
+        if picked.len() < count {
+            // All shards were drained and memory is still short: put the
+            // partial take back and report what was available.
+            let available = picked.len();
+            self.reinsert_free(&picked);
+            return Err(MemError::OutOfMemory {
+                requested: count,
+                available,
+            });
+        }
+        picked.sort_unstable();
+        let ranges = coalesce(&picked);
         for r in &ranges {
             for id in r.iter() {
                 let mut f = self.frames[id.0].lock();
@@ -223,6 +306,27 @@ impl PhysMemory {
             .cpu
             .run(self.costs.retrieval_per_batch * ranges.len() as u32);
         Ok(ranges)
+    }
+
+    /// Returns frame indices to their owning shards.
+    fn reinsert_free(&self, indices: &[usize]) {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.free.len()];
+        for &i in indices {
+            by_shard[self.shard_of(i)].push(i);
+        }
+        for (s, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            self.free_lock.timed(
+                || self.free[s].lock(),
+                |mut fl| {
+                    for &i in idxs {
+                        fl.free.insert(i);
+                    }
+                },
+            );
+        }
     }
 
     /// Frees previously allocated ranges. Frames must belong to `owner` and
@@ -250,12 +354,11 @@ impl PhysMemory {
                 f.content.invalidate(nonce);
             }
         }
-        let mut fl = self.free.lock();
-        for r in ranges {
-            for id in r.iter() {
-                fl.free.insert(id.0);
-            }
-        }
+        let indices: Vec<usize> = ranges
+            .iter()
+            .flat_map(|r| r.iter().map(|id| id.0))
+            .collect();
+        self.reinsert_free(&indices);
         Ok(())
     }
 
@@ -433,10 +536,7 @@ impl PhysMemory {
                 released.push(i);
             }
         }
-        let mut fl = self.free.lock();
-        for i in &released {
-            fl.free.insert(*i);
-        }
+        self.reinsert_free(&released);
         released.len()
     }
 
@@ -445,11 +545,9 @@ impl PhysMemory {
     /// happens during idle time, before the measured startup window).
     /// Returns the number of frames pre-zeroed.
     pub fn prezero_pass(&self, fraction: f64) -> usize {
-        let targets: Vec<usize> = {
-            let fl = self.free.lock();
-            let n = (fl.free.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
-            fl.free.iter().take(n).copied().collect()
-        };
+        let all_free = self.collect_free_sorted();
+        let n = (all_free.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize;
+        let targets: Vec<usize> = all_free.into_iter().take(n).collect();
         let mut done = 0;
         for i in &targets {
             let mut f = self.frames[*i].lock();
@@ -470,29 +568,47 @@ impl PhysMemory {
     /// `stride`-th free frame is taken. Returns how many were taken.
     pub fn inject_fragmentation(&self, stride: usize) -> usize {
         assert!(stride >= 2, "stride < 2 would exhaust memory");
-        let picked: Vec<usize> = {
-            let mut fl = self.free.lock();
-            let picked: Vec<usize> = fl.free.iter().step_by(stride).copied().collect();
-            for &i in &picked {
-                fl.free.remove(&i);
+        // Pick over the globally address-ordered free set so the injected
+        // pattern is shard-count independent, then remove each pick from
+        // its shard (skipping any frame a racing allocation grabbed).
+        let candidates: Vec<usize> = self
+            .collect_free_sorted()
+            .into_iter()
+            .step_by(stride)
+            .collect();
+        let mut taken = 0;
+        for &i in &candidates {
+            let removed = self.free[self.shard_of(i)].lock().free.remove(&i);
+            if removed {
+                self.frames[i].lock().owner = Some(Self::OWNER_FRAG);
+                taken += 1;
             }
-            picked
-        };
-        for &i in &picked {
-            self.frames[i].lock().owner = Some(Self::OWNER_FRAG);
         }
-        picked.len()
+        taken
+    }
+
+    /// Snapshot of every free frame index, address-ordered. Shard locks
+    /// are taken one at a time; shards own disjoint contiguous index
+    /// ranges so concatenation is already sorted.
+    fn collect_free_sorted(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        for shard in &self.free {
+            out.extend(shard.lock().free.iter().copied());
+        }
+        out
     }
 
     /// Current statistics.
     pub fn stats(&self) -> AllocStats {
         AllocStats {
-            free_frames: self.free.lock().free.len(),
+            free_frames: self.free.iter().map(|s| s.lock().free.len()).sum(),
             total_frames: self.frames.len(),
             allocations: self.allocations.load(Ordering::Relaxed),
             batches_retrieved: self.batches.load(Ordering::Relaxed),
             frames_zeroed_charged: self.zeroed_charged.load(Ordering::Relaxed),
             frames_prezeroed: self.prezeroed.load(Ordering::Relaxed),
+            shards: self.free.len(),
+            frames_stolen: self.stolen.load(Ordering::Relaxed),
         }
     }
 }
@@ -704,6 +820,74 @@ mod tests {
         // Released frames are residue for the next tenant.
         let r3 = m.alloc_frames(1, 3).unwrap();
         assert!(m.leaks_residue(r3[0].start).unwrap());
+    }
+
+    #[test]
+    fn sharded_alloc_prefers_home_shard() {
+        let m = PhysMemory::new_sharded(MemCosts::for_tests(), PageSize::Size2M, 64, 4);
+        assert_eq!(m.shard_count(), 4);
+        // Owner 2's home shard is shard 2 = frames [32, 48).
+        let r = m.alloc_frames(8, 2).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].start, FrameId(32));
+        assert_eq!(m.stats().frames_stolen, 0);
+    }
+
+    #[test]
+    fn sharded_alloc_steals_when_home_dry() {
+        let m = PhysMemory::new_sharded(MemCosts::for_tests(), PageSize::Size2M, 64, 4);
+        // Drain shard 1 (frames [16, 32)) completely, then ask for more.
+        let _hold = m.alloc_frames(16, 1).unwrap();
+        let r = m.alloc_frames(4, 1).unwrap();
+        assert_eq!(r.iter().map(|x| x.count).sum::<usize>(), 4);
+        // The overflow came from the next shard ring-wise (shard 2).
+        assert_eq!(r[0].start, FrameId(32));
+        assert_eq!(m.stats().frames_stolen, 4);
+    }
+
+    #[test]
+    fn sharded_oom_restores_partial_take() {
+        let m = PhysMemory::new_sharded(MemCosts::for_tests(), PageSize::Size2M, 16, 4);
+        let e = m.alloc_frames(17, 0).unwrap_err();
+        assert!(matches!(
+            e,
+            MemError::OutOfMemory {
+                requested: 17,
+                available: 16
+            }
+        ));
+        assert_eq!(m.stats().free_frames, 16, "partial take must be restored");
+        // And the memory is still fully allocatable afterwards.
+        let r = m.alloc_frames(16, 0).unwrap();
+        assert_eq!(r.iter().map(|x| x.count).sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn sharded_free_returns_frames_to_home_shards() {
+        let m = PhysMemory::new_sharded(MemCosts::for_tests(), PageSize::Size2M, 32, 4);
+        let r = m.alloc_frames(32, 0).unwrap();
+        m.free_ranges(&r, 0).unwrap();
+        // After a full cycle every shard serves its own range again.
+        let r2 = m.alloc_frames(4, 3).unwrap();
+        assert_eq!(r2[0].start, FrameId(24), "owner 3's home shard restored");
+        assert_eq!(m.stats().free_frames, 28);
+    }
+
+    #[test]
+    fn sharded_fragmentation_matches_single_shard_pattern() {
+        let m = PhysMemory::new_sharded(MemCosts::for_tests(), PageSize::Size2M, 64, 4);
+        assert_eq!(m.inject_fragmentation(2), 32);
+        let r = m.alloc_frames(8, 0).unwrap();
+        assert_eq!(r.len(), 8, "every frame its own batch: {r:?}");
+    }
+
+    #[test]
+    fn free_lock_stats_accumulate() {
+        let m = mem(8);
+        let r = m.alloc_frames(4, 1).unwrap();
+        m.free_ranges(&r, 1).unwrap();
+        let s = m.free_lock_stats();
+        assert!(s.acquisitions >= 2);
     }
 
     #[test]

@@ -67,6 +67,20 @@ impl Iotlb {
         self.map.remove(&page);
     }
 
+    /// Drops every cached translation in `[start, start + count)` — the
+    /// batched invalidation issued by an extent unmap. One pass over the
+    /// cache when the range is wider than the cache itself.
+    pub fn invalidate_range(&mut self, start: u64, count: usize) {
+        let end = start.saturating_add(count as u64);
+        if count >= self.map.len() {
+            self.map.retain(|&p, _| p < start || p >= end);
+        } else {
+            for p in start..end {
+                self.map.remove(&p);
+            }
+        }
+    }
+
     /// Drops everything (domain-wide invalidation).
     pub fn flush(&mut self) {
         self.map.clear();
@@ -123,6 +137,25 @@ mod tests {
         tlb.invalidate(1);
         assert!(tlb.lookup(1).is_none());
         tlb.flush();
+        assert!(tlb.is_empty());
+    }
+
+    #[test]
+    fn invalidate_range_drops_exactly_the_window() {
+        let mut tlb = Iotlb::new(8);
+        for p in 0..8u64 {
+            tlb.insert(p, Hpa(p * 0x1000));
+        }
+        tlb.invalidate_range(2, 4);
+        assert_eq!(tlb.len(), 4);
+        for p in [0u64, 1, 6, 7] {
+            assert!(tlb.lookup(p).is_some(), "page {p} kept");
+        }
+        for p in 2..6u64 {
+            assert!(tlb.lookup(p).is_none(), "page {p} dropped");
+        }
+        // Wide range takes the retain path.
+        tlb.invalidate_range(0, 1 << 20);
         assert!(tlb.is_empty());
     }
 

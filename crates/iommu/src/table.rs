@@ -96,6 +96,123 @@ impl IoPageTable {
         }
     }
 
+    /// Installs the extent `page → hpa_base + i * page_bytes` for `count`
+    /// consecutive pages in one table operation.
+    ///
+    /// The walk descends to each leaf once per 512-entry window instead of
+    /// once per page, which is what makes contiguous [`FrameRange`]s cheap
+    /// to install. All-or-nothing: if any page in the extent is already
+    /// present (or out of range) nothing is modified and the error is
+    /// returned.
+    ///
+    /// [`FrameRange`]: fastiov_hostmem::FrameRange
+    pub fn map_extent(
+        &mut self,
+        start_page: u64,
+        hpa_base: Hpa,
+        page_bytes: u64,
+        count: usize,
+    ) -> std::result::Result<(), TableError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let end = start_page
+            .checked_add(count as u64 - 1)
+            .ok_or(TableError::OutOfRange)?;
+        if end >= Self::MAX_PAGES {
+            return Err(TableError::OutOfRange);
+        }
+        // Pass 1: conflict scan, touching each leaf window once.
+        self.walk_extent(start_page, count, |leaf, i3, chunk, _| {
+            if let Some(leaf) = leaf {
+                if leaf[i3..i3 + chunk].iter().any(Option::is_some) {
+                    return Err(TableError::Present);
+                }
+            }
+            Ok(())
+        })?;
+        // Pass 2: install.
+        let mut p = start_page;
+        let mut idx = 0u64;
+        let mut remaining = count;
+        while remaining > 0 {
+            let (i1, i2, i3) = Self::split(p);
+            let chunk = (FANOUT - i3).min(remaining);
+            let mid = self.root[i1].get_or_insert_with(empty_array);
+            let leaf = mid[i2].get_or_insert_with(empty_array);
+            for k in 0..chunk {
+                leaf[i3 + k] = Some(Hpa(hpa_base.raw() + idx * page_bytes));
+                idx += 1;
+            }
+            self.entries += chunk;
+            p += chunk as u64;
+            remaining -= chunk;
+        }
+        Ok(())
+    }
+
+    /// Removes `count` consecutive entries starting at `start_page` in one
+    /// table operation. All-or-nothing: if any page is absent, nothing is
+    /// modified.
+    pub fn unmap_extent(
+        &mut self,
+        start_page: u64,
+        count: usize,
+    ) -> std::result::Result<(), TableError> {
+        if count == 0 {
+            return Ok(());
+        }
+        let end = start_page
+            .checked_add(count as u64 - 1)
+            .ok_or(TableError::OutOfRange)?;
+        if end >= Self::MAX_PAGES {
+            return Err(TableError::OutOfRange);
+        }
+        // Pass 1: every page present?
+        self.walk_extent(start_page, count, |leaf, i3, chunk, _| match leaf {
+            Some(leaf) if leaf[i3..i3 + chunk].iter().all(Option::is_some) => Ok(()),
+            _ => Err(TableError::Absent),
+        })?;
+        // Pass 2: clear.
+        let mut p = start_page;
+        let mut remaining = count;
+        while remaining > 0 {
+            let (i1, i2, i3) = Self::split(p);
+            let chunk = (FANOUT - i3).min(remaining);
+            let leaf = self.root[i1]
+                .as_mut()
+                .and_then(|m| m[i2].as_mut())
+                .expect("verified present");
+            for k in 0..chunk {
+                leaf[i3 + k] = None;
+            }
+            self.entries -= chunk;
+            p += chunk as u64;
+            remaining -= chunk;
+        }
+        Ok(())
+    }
+
+    /// Visits the extent one leaf window at a time (read-only).
+    fn walk_extent(
+        &self,
+        start_page: u64,
+        count: usize,
+        mut visit: impl FnMut(Option<&Leaf>, usize, usize, u64) -> std::result::Result<(), TableError>,
+    ) -> std::result::Result<(), TableError> {
+        let mut p = start_page;
+        let mut remaining = count;
+        while remaining > 0 {
+            let (i1, i2, i3) = Self::split(p);
+            let chunk = (FANOUT - i3).min(remaining);
+            let leaf = self.root[i1].as_ref().and_then(|m| m[i2].as_ref());
+            visit(leaf, i3, chunk, p)?;
+            p += chunk as u64;
+            remaining -= chunk;
+        }
+        Ok(())
+    }
+
     /// Looks up the translation for `page`.
     pub fn lookup(&self, page: u64) -> Option<Hpa> {
         if page >= Self::MAX_PAGES {
@@ -170,6 +287,61 @@ mod tests {
             Err(TableError::OutOfRange)
         );
         assert_eq!(t.lookup(IoPageTable::MAX_PAGES), None);
+    }
+
+    #[test]
+    fn map_extent_matches_per_page_maps() {
+        // The bulk install must produce exactly the state a per-page loop
+        // would (the cost-equivalence argument relies on this).
+        let mut bulk = IoPageTable::new();
+        let mut loopy = IoPageTable::new();
+        // Crosses two leaf boundaries: pages 500..1600.
+        bulk.map_extent(500, Hpa(0x10_0000), 0x1000, 1100).unwrap();
+        for i in 0..1100u64 {
+            loopy.map(500 + i, Hpa(0x10_0000 + i * 0x1000)).unwrap();
+        }
+        assert_eq!(bulk.entries(), loopy.entries());
+        for p in 498..1602u64 {
+            assert_eq!(bulk.lookup(p), loopy.lookup(p), "page {p}");
+        }
+    }
+
+    #[test]
+    fn map_extent_conflict_leaves_table_unchanged() {
+        let mut t = IoPageTable::new();
+        t.map(600, Hpa(0xdead)).unwrap();
+        assert_eq!(
+            t.map_extent(500, Hpa(0x1000), 0x1000, 200),
+            Err(TableError::Present)
+        );
+        assert_eq!(t.entries(), 1, "nothing installed on conflict");
+        assert_eq!(t.lookup(500), None);
+        assert_eq!(t.lookup(600), Some(Hpa(0xdead)));
+    }
+
+    #[test]
+    fn unmap_extent_round_trip_and_atomicity() {
+        let mut t = IoPageTable::new();
+        t.map_extent(0, Hpa(0), 0x1000, 1024).unwrap();
+        assert_eq!(t.entries(), 1024);
+        // A hole makes the whole unmap fail without side effects.
+        t.unmap(512).unwrap();
+        assert_eq!(t.unmap_extent(0, 1024), Err(TableError::Absent));
+        assert_eq!(t.entries(), 1023);
+        t.unmap_extent(0, 512).unwrap();
+        t.unmap_extent(513, 511).unwrap();
+        assert_eq!(t.entries(), 0);
+    }
+
+    #[test]
+    fn extent_out_of_range_rejected() {
+        let mut t = IoPageTable::new();
+        assert_eq!(
+            t.map_extent(IoPageTable::MAX_PAGES - 1, Hpa(0), 0x1000, 2),
+            Err(TableError::OutOfRange)
+        );
+        assert_eq!(t.map_extent(5, Hpa(0), 0x1000, 0), Ok(()));
+        assert_eq!(t.entries(), 0);
     }
 
     #[test]

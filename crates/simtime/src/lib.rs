@@ -18,11 +18,13 @@
 #![warn(missing_docs)]
 
 mod clock;
+mod lockstat;
 mod resources;
 mod semaphore;
 mod timeline;
 
 pub use clock::{Clock, SimInstant};
+pub use lockstat::{ContentionCounter, LockSnapshot};
 pub use resources::{BandwidthResource, CpuPool, FairShareBandwidth, ResourceStats};
 pub use semaphore::FairSemaphore;
 pub use timeline::{StageLog, StageRecord};

@@ -1,0 +1,138 @@
+//! Lock contention instrumentation.
+//!
+//! The simulator's clock is wall-clock backed, so real lock contention
+//! between the launch threads directly inflates measured startup time.
+//! [`ContentionCounter`] makes that contention observable: hot-path locks
+//! wrap their acquisitions in [`ContentionCounter::timed`] (or record
+//! explicit wait/hold pairs) and the accumulated **real** nanoseconds of
+//! wait and hold time are exposed as a [`LockSnapshot`].
+//!
+//! The numbers are real time, not simulated time: they answer "which lock
+//! do threads queue on" (a relative ranking), not "how long would the
+//! modelled server wait". Absolute values depend on the host and the time
+//! scale and are therefore never part of deterministic bench output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Accumulated wait/hold statistics for one named lock (or one family of
+/// locks aggregated under a single name, e.g. all free-list shards).
+#[derive(Debug, Default)]
+pub struct ContentionCounter {
+    wait_ns: AtomicU64,
+    hold_ns: AtomicU64,
+    acquisitions: AtomicU64,
+}
+
+/// Point-in-time copy of a [`ContentionCounter`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockSnapshot {
+    /// Total real nanoseconds threads spent waiting to acquire.
+    pub wait_ns: u64,
+    /// Total real nanoseconds the lock was held.
+    pub hold_ns: u64,
+    /// Number of acquisitions recorded.
+    pub acquisitions: u64,
+}
+
+impl LockSnapshot {
+    /// Component-wise sum — aggregates a family of locks (e.g. every
+    /// devset) into one ranking entry.
+    pub fn merged(self, other: LockSnapshot) -> LockSnapshot {
+        LockSnapshot {
+            wait_ns: self.wait_ns + other.wait_ns,
+            hold_ns: self.hold_ns + other.hold_ns,
+            acquisitions: self.acquisitions + other.acquisitions,
+        }
+    }
+
+    /// Mean wait per acquisition in nanoseconds.
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.acquisitions == 0 {
+            0.0
+        } else {
+            self.wait_ns as f64 / self.acquisitions as f64
+        }
+    }
+}
+
+impl ContentionCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one acquisition with explicit wait and hold durations (in
+    /// nanoseconds of real time).
+    pub fn record(&self, wait_ns: u64, hold_ns: u64) {
+        self.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        self.hold_ns.fetch_add(hold_ns, Ordering::Relaxed);
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Times `acquire` (the wait) and then `critical` (the hold), recording
+    /// both. Returns `critical`'s result.
+    ///
+    /// ```
+    /// use fastiov_simtime::ContentionCounter;
+    /// use parking_lot::Mutex;
+    ///
+    /// let c = ContentionCounter::new();
+    /// let m = Mutex::new(41);
+    /// let v = c.timed(|| m.lock(), |mut g| {
+    ///     *g += 1;
+    ///     *g
+    /// });
+    /// assert_eq!(v, 42);
+    /// assert_eq!(c.snapshot().acquisitions, 1);
+    /// ```
+    pub fn timed<G, R>(&self, acquire: impl FnOnce() -> G, critical: impl FnOnce(G) -> R) -> R {
+        let t0 = Instant::now();
+        let guard = acquire();
+        let t1 = Instant::now();
+        let out = critical(guard);
+        let t2 = Instant::now();
+        self.record((t1 - t0).as_nanos() as u64, (t2 - t1).as_nanos() as u64);
+        out
+    }
+
+    /// Current totals.
+    pub fn snapshot(&self) -> LockSnapshot {
+        LockSnapshot {
+            wait_ns: self.wait_ns.load(Ordering::Relaxed),
+            hold_ns: self.hold_ns.load(Ordering::Relaxed),
+            acquisitions: self.acquisitions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let c = ContentionCounter::new();
+        c.record(10, 5);
+        c.record(20, 15);
+        let s = c.snapshot();
+        assert_eq!(s.wait_ns, 30);
+        assert_eq!(s.hold_ns, 20);
+        assert_eq!(s.acquisitions, 2);
+        assert!((s.mean_wait_ns() - 15.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn timed_counts_one_acquisition() {
+        let c = ContentionCounter::new();
+        let m = parking_lot::Mutex::new(0u32);
+        c.timed(|| m.lock(), |mut g| *g += 1);
+        assert_eq!(c.snapshot().acquisitions, 1);
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_mean_is_zero() {
+        assert_eq!(ContentionCounter::new().snapshot().mean_wait_ns(), 0.0);
+    }
+}

@@ -401,6 +401,15 @@ impl DevsetManager {
             busy_refusals: self.busy.load(Ordering::Relaxed),
         }
     }
+
+    /// Aggregate wait/hold time across every devset's parent–child lock.
+    pub fn lock_stats(&self) -> fastiov_simtime::LockSnapshot {
+        self.devsets
+            .lock()
+            .values()
+            .map(|s| s.lock.lock_stats())
+            .fold(fastiov_simtime::LockSnapshot::default(), |a, b| a.merged(b))
+    }
 }
 
 #[cfg(test)]

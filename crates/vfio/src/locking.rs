@@ -22,7 +22,9 @@
 //! (the paper argues it "can be promoted to other scenarios"): see
 //! `examples/lock_framework.rs` for a non-VFIO use.
 
+use fastiov_simtime::{ContentionCounter, LockSnapshot};
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Instant;
 
 /// Which lock design guards a parent–child structure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,18 +97,40 @@ pub struct ParentChildLock<P> {
     /// it sits in its own mutex; under either policy that mutex is
     /// uncontended by construction (parent access is already exclusive).
     parent_state: Mutex<P>,
+    /// Wait/hold accounting across all operations on this lock pair.
+    stats: ContentionCounter,
 }
 
 /// Guard for a child operation; dereferences to the child state.
 pub struct ChildGuard<'a, T> {
     _outer: OuterGuard<'a>,
     child: MutexGuard<'a, T>,
+    stats: &'a ContentionCounter,
+    wait_ns: u64,
+    acquired: Instant,
 }
 
 /// Guard for a parent operation; dereferences to the parent state.
 pub struct ParentGuard<'a, P> {
     _outer: OuterParentGuard<'a>,
     parent: MutexGuard<'a, P>,
+    stats: &'a ContentionCounter,
+    wait_ns: u64,
+    acquired: Instant,
+}
+
+impl<T> Drop for ChildGuard<'_, T> {
+    fn drop(&mut self) {
+        self.stats
+            .record(self.wait_ns, self.acquired.elapsed().as_nanos() as u64);
+    }
+}
+
+impl<P> Drop for ParentGuard<'_, P> {
+    fn drop(&mut self) {
+        self.stats
+            .record(self.wait_ns, self.acquired.elapsed().as_nanos() as u64);
+    }
 }
 
 // The guards are held purely for their Drop impls (RAII release).
@@ -130,12 +154,18 @@ impl<P> ParentChildLock<P> {
             coarse: Mutex::new(()),
             rw: RwLock::new(()),
             parent_state: Mutex::new(parent_state),
+            stats: ContentionCounter::new(),
         }
     }
 
     /// The active policy.
     pub fn policy(&self) -> LockPolicy {
         self.policy
+    }
+
+    /// Accumulated wait/hold time across all operations on this lock.
+    pub fn lock_stats(&self) -> LockSnapshot {
+        self.stats.snapshot()
     }
 
     /// Acquires for an **intra/inter-child** operation on the child whose
@@ -146,26 +176,36 @@ impl<P> ParentChildLock<P> {
     /// operation are excluded. Under [`LockPolicy::Coarse`], everything is
     /// serialized.
     pub fn lock_child<'a, T>(&'a self, child: &'a ChildLock<T>) -> ChildGuard<'a, T> {
+        let t0 = Instant::now();
         let outer = match self.policy {
             LockPolicy::Coarse => OuterGuard::Coarse(self.coarse.lock()),
             LockPolicy::Hierarchical => OuterGuard::Read(self.rw.read()),
         };
+        let child = child.mutex.lock();
         ChildGuard {
             _outer: outer,
-            child: child.mutex.lock(),
+            child,
+            stats: &self.stats,
+            wait_ns: t0.elapsed().as_nanos() as u64,
+            acquired: Instant::now(),
         }
     }
 
     /// Acquires for an **intra-parent** or **parent–child** operation.
     /// Excludes every other operation under either policy.
     pub fn lock_parent(&self) -> ParentGuard<'_, P> {
+        let t0 = Instant::now();
         let outer = match self.policy {
             LockPolicy::Coarse => OuterParentGuard::Coarse(self.coarse.lock()),
             LockPolicy::Hierarchical => OuterParentGuard::Write(self.rw.write()),
         };
+        let parent = self.parent_state.lock();
         ParentGuard {
             _outer: outer,
-            parent: self.parent_state.lock(),
+            parent,
+            stats: &self.stats,
+            wait_ns: t0.elapsed().as_nanos() as u64,
+            acquired: Instant::now(),
         }
     }
 }
