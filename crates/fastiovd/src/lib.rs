@@ -124,9 +124,12 @@ impl Fastiovd {
 
     /// Installs the fault plane for the registration path.
     pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
-        self.faults_enabled
-            .store(plane.is_enabled(), Ordering::Release);
+        // Swap the plane before publishing the enabled flag: a concurrent
+        // registration that observes `faults_enabled == true` must never
+        // read the old (disabled) plane and silently skip its check.
+        let enabled = plane.is_enabled();
         *self.faults.write() = plane;
+        self.faults_enabled.store(enabled, Ordering::Release);
     }
 
     /// Number of tier-1 shards.
@@ -219,9 +222,12 @@ impl Fastiovd {
                 n += 1;
             }
         }
-        drop(t);
+        // Publish the count before releasing the table lock: a scrubber can
+        // only claim these pages after taking the same lock, so `tracked`
+        // never transiently underflows between insert and fetch_add.
         self.tracked.fetch_add(fresh, Ordering::Relaxed);
         self.registered.fetch_add(n, Ordering::Relaxed);
+        drop(t);
         true
     }
 
@@ -259,7 +265,17 @@ impl Fastiovd {
             .timed(|| shard.write(), |mut g| g.remove(&pid))
         {
             Some(t) => {
-                let n = t.lock().pages.len();
+                // Drain under the table lock: a scrubber or EPT fault that
+                // cloned this table's Arc before it left the shard map then
+                // finds nothing left to remove, so each page decrements
+                // `tracked` exactly once (no double fetch_sub underflow).
+                let n = {
+                    let mut t = t.lock();
+                    let n = t.pages.len();
+                    t.pages.clear();
+                    t.order.clear();
+                    n
+                };
                 self.tracked.fetch_sub(n as u64, Ordering::Relaxed);
                 n
             }

@@ -249,7 +249,12 @@ impl PhysMemory {
     /// The owner's home shard (`owner % shards`) is drained in address
     /// order first; if it runs dry the remaining shards are visited
     /// ring-wise (work stealing), each under its own short critical
-    /// section — no two shard locks are ever held at once.
+    /// section — no two shard locks are ever held at once. Because shards
+    /// are visited one at a time, a concurrent free into an
+    /// already-visited shard can leave one pass short even though enough
+    /// frames exist; the ring is retried once before declaring
+    /// out-of-memory, and the reported `available` is a global free-frame
+    /// count taken at failure time (advisory under concurrency).
     pub fn alloc_frames(&self, count: usize, owner: u64) -> Result<Vec<FrameRange>> {
         if count == 0 {
             return Ok(Vec::new());
@@ -257,35 +262,37 @@ impl PhysMemory {
         let n_shards = self.free.len();
         let home = (owner as usize) % n_shards;
         let mut picked: Vec<usize> = Vec::with_capacity(count);
-        for k in 0..n_shards {
-            let need = count - picked.len();
-            if need == 0 {
-                break;
+        'ring: for _pass in 0..2 {
+            for k in 0..n_shards {
+                let need = count - picked.len();
+                if need == 0 {
+                    break 'ring;
+                }
+                let shard = (home + k) % n_shards;
+                let taken = self.free_lock.timed(
+                    || self.free[shard].lock(),
+                    |mut fl| {
+                        let taken: Vec<usize> = fl.free.iter().take(need).copied().collect();
+                        for &i in &taken {
+                            fl.free.remove(&i);
+                        }
+                        taken
+                    },
+                );
+                if k > 0 {
+                    self.stolen.fetch_add(taken.len() as u64, Ordering::Relaxed);
+                }
+                picked.extend(taken);
             }
-            let shard = (home + k) % n_shards;
-            let taken = self.free_lock.timed(
-                || self.free[shard].lock(),
-                |mut fl| {
-                    let taken: Vec<usize> = fl.free.iter().take(need).copied().collect();
-                    for &i in &taken {
-                        fl.free.remove(&i);
-                    }
-                    taken
-                },
-            );
-            if k > 0 {
-                self.stolen.fetch_add(taken.len() as u64, Ordering::Relaxed);
-            }
-            picked.extend(taken);
         }
         if picked.len() < count {
-            // All shards were drained and memory is still short: put the
-            // partial take back and report what was available.
-            let available = picked.len();
+            // Every shard was visited twice and memory is still short: put
+            // the partial take back and report the actual free-frame count,
+            // not just what this call managed to grab.
             self.reinsert_free(&picked);
             return Err(MemError::OutOfMemory {
                 requested: count,
-                available,
+                available: self.collect_free_sorted().len(),
             });
         }
         picked.sort_unstable();

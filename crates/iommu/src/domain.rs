@@ -90,12 +90,18 @@ impl IommuDomain {
                             cursor += r.count as u64;
                         }
                         Err(e) => {
+                            // Report the exact conflicting page, as the
+                            // per-page install did — not just the start of
+                            // the failing range.
+                            let conflict = (cursor..cursor + r.count as u64)
+                                .find(|p| table.lookup(*p).is_some())
+                                .unwrap_or(cursor);
                             for (s, c) in installed {
                                 let _ = table.unmap_extent(s, c);
                             }
                             return Err(match e {
                                 TableError::Present => {
-                                    IommuError::AlreadyMapped(Iova(cursor * self.page.bytes()))
+                                    IommuError::AlreadyMapped(Iova(conflict * self.page.bytes()))
                                 }
                                 _ => IommuError::Unaligned(iova),
                             });
@@ -380,6 +386,22 @@ mod tests {
         assert_eq!(dom.stats().mapped_pages, 1);
         assert!(dom.translate(Iova(0)).is_err());
         assert!(dom.translate(Iova(2 * PAGE)).is_ok());
+    }
+
+    #[test]
+    fn conflict_reports_exact_page_not_range_start() {
+        let (mem, dom) = setup();
+        let occupied = mem.alloc_frames(1, 1).unwrap();
+        // Occupy page 2, then map a single contiguous 4-page extent over
+        // it: the error must name page 2, not the extent's start (page 0).
+        dom.map_range(Iova(2 * PAGE), &occupied, &mem).unwrap();
+        let r = mem.alloc_frames(4, 2).unwrap();
+        assert_eq!(r.len(), 1, "unfragmented alloc is one extent");
+        let e = dom.map_range(Iova(0), &r, &mem).unwrap_err();
+        assert!(
+            matches!(e, IommuError::AlreadyMapped(a) if a == Iova(2 * PAGE)),
+            "wrong conflict address: {e}"
+        );
     }
 
     #[test]
