@@ -92,6 +92,10 @@ pub fn run_serverless_task(
         ));
     }
     let clock = host.clock.clone();
+    // `run_pod` scopes its own spans to the VM but that scope ends when it
+    // returns; re-establish it here so the application phases of the task
+    // land on the same timeline row as the startup.
+    let _vm_scope = host.tracer.vm_scope(1000 + u64::from(index));
     let t0 = clock.now();
 
     // Container startup (t_config + t_attach).
@@ -102,6 +106,7 @@ pub fn run_serverless_task(
     // creation. A small head chunk exercises the byte-accurate shared-
     // buffer path (including proactive faults); the tail is charged at
     // the virtioFS data rate.
+    let launch_span = host.tracer.span("app.launch");
     let t_launch = clock.now();
     let head = 64 * 1024u64;
     let head_data: Vec<u8> = (0..head).map(|i| (i % 251) as u8).collect();
@@ -119,11 +124,14 @@ pub fn run_serverless_task(
         params.app_init_guest.as_secs_f64() * 0.5 / params.vcpus.max(0.05),
     ));
     let launch = clock.now().duration_since(t_launch);
+    launch_span.finish();
 
     // The application begins by contacting storage: wait for the NIC.
+    let net_span = host.tracer.span("app.net-wait");
     let t_net = clock.now();
     pod.vm.wait_net_ready()?;
     let net_wait = clock.now().duration_since(t_net);
+    net_span.finish();
 
     // Download the input through the container's virtual NIC.
     let object = format!("input-{}", workload.name());
@@ -131,13 +139,19 @@ pub fn run_serverless_task(
     if storage.len(&object) != Some(total) {
         storage.put(&object, total, 0x5eed ^ total);
     }
-    let sample = download(&host, &pod, storage, &object, total, params)?;
+    let sample = {
+        let _span = host.tracer.span("app.download");
+        download(&host, &pod, storage, &object, total, params)?
+    };
 
     // Compute: the execution time model at the allocated vCPUs covers
     // the computation's cost; the *real* algorithm run happens after the
     // timed window (it exists for output verification, and its host CPU
     // time must not contaminate the scaled simulation clock).
-    clock.sleep(workload.exec_time(params.vcpus));
+    {
+        let _span = host.tracer.span("app.exec");
+        clock.sleep(workload.exec_time(params.vcpus));
+    }
 
     let completion = clock.now().duration_since(t0);
     let output = workload.compute(&sample);

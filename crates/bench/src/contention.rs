@@ -46,6 +46,9 @@ pub struct CellResult {
     pub frames_stolen: u64,
     /// Per-lock wait/hold snapshots, worst waiter first.
     pub locks: Vec<(&'static str, LockSnapshot)>,
+    /// Per-stage startup percentiles over the wave, sorted by stage name
+    /// (simulated seconds, wall-clock derived like `p50_s`/`p99_s`).
+    pub stage_percentiles: Vec<(String, fastiov::engine::Summary)>,
 }
 
 impl CellResult {
@@ -105,6 +108,7 @@ pub fn run_cell(opts: &HarnessOpts, shards: usize, conc: u32) -> CellResult {
         p99_s,
         frames_stolen: host.mem.stats().frames_stolen,
         locks: engine.lock_reports(),
+        stage_percentiles: outcome.summary.stage_percentiles.clone(),
     }
 }
 
@@ -296,6 +300,19 @@ pub fn timings_json(cells: &[CellResult], hot: &[HotPathResult]) -> String {
                     .f64("p99_s", c.p99_s)
                     .u64("frames_stolen", c.frames_stolen)
                     .raw("locks", locks_json(&c.locks))
+                    .raw(
+                        "stages",
+                        array(c.stage_percentiles.iter().map(|(name, s)| {
+                            Obj::new()
+                                .str("name", name)
+                                .usize("n", s.n)
+                                .f64("mean_s", s.mean.as_secs_f64())
+                                .f64("p50_s", s.p50.as_secs_f64())
+                                .f64("p90_s", s.p90.as_secs_f64())
+                                .f64("p99_s", s.p99.as_secs_f64())
+                                .render()
+                        })),
+                    )
                     .render()
             })),
         )

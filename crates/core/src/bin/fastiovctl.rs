@@ -9,6 +9,7 @@
 //! fastiovctl pool --capacity 16 --pods 32 [--rate 20] [--scale 0.002]
 //! fastiovctl faults --baseline pool16 --conc 50 [--rate 0.01] [--seed 1]
 //! fastiovctl contention --conc 50 [--shards 8] [--baseline fastiov]
+//! fastiovctl trace [--baseline fastiov] [--conc 200] [--out FILE] [--smoke]
 //! fastiovctl memperf
 //! ```
 //!
@@ -162,7 +163,9 @@ fn usage() -> ExitCode {
          --baseline <name> [--conc N]\n  fastiovctl pool [--capacity N] [--pods N] \
          [--rate F] [--hold-ms M] [--scale F]\n  fastiovctl faults [--baseline <name>] \
          [--conc N] [--rate F] [--seed N] [--scale F]\n  fastiovctl contention \
-         [--baseline <name>] [--conc N] [--shards N] [--scale F]\n  fastiovctl memperf [--scale F]"
+         [--baseline <name>] [--conc N] [--shards N] [--scale F]\n  fastiovctl trace \
+         [--baseline <name>] [--conc N] [--out FILE] [--scale F] [--smoke]\n  \
+         fastiovctl memperf [--scale F]"
     );
     ExitCode::FAILURE
 }
@@ -433,6 +436,115 @@ fn main() -> ExitCode {
                 ]);
             }
             println!("{}", t.render());
+            ExitCode::SUCCESS
+        }
+        "trace" => {
+            let b = flags
+                .get("baseline")
+                .map(|n| baseline_from(n).expect("unknown baseline"))
+                .unwrap_or(Baseline::FastIov);
+            let smoke = flags.contains_key("smoke");
+            let mut cfg = config(&flags, b);
+            if !flags.contains_key("conc") {
+                // The paper's headline experiment is a 200-way simultaneous
+                // wave; --smoke shrinks it so CI can afford the run.
+                cfg.concurrency = if smoke { 8 } else { 200 };
+            }
+            let (host, engine) = match cfg.build() {
+                Ok(built) => built,
+                Err(e) => return fail(&e),
+            };
+            // Must happen before the wave: spans are only recorded while
+            // the tracer is enabled, and it starts disabled so untraced
+            // runs pay a single atomic load per would-be span.
+            host.tracer.enable();
+            let outcome = engine.launch_concurrent(cfg.concurrency);
+            for pod in outcome.pods.iter().flatten() {
+                let _ = engine.teardown_pod(pod);
+            }
+            if let Some(pool) = engine.pool() {
+                pool.wait_idle();
+            }
+            let out = flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "trace.json".to_string());
+            let json = host.tracer.chrome_trace_json();
+            if let Err(e) = std::fs::write(&out, &json) {
+                eprintln!("fastiovctl: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let spans = host.tracer.spans();
+            println!(
+                "{} at conc {}: {}\n{} spans -> {} (load in chrome://tracing or ui.perfetto.dev)",
+                b.label(),
+                cfg.concurrency,
+                outcome.summary,
+                spans.len(),
+                out,
+            );
+            // Per-stage percentiles over simulated time, with the tracer's
+            // independent view of the same stages alongside. Traced stages
+            // share their exact clock readings with the stage log, so the
+            // two means must agree; any divergence means spans are being
+            // attributed to the wrong VM or dropped.
+            let mut t = Table::new(vec![
+                "stage",
+                "n",
+                "sim mean (s)",
+                "p50 (s)",
+                "p90 (s)",
+                "p99 (s)",
+                "trace mean (s)",
+                "wall mean (ms)",
+            ]);
+            let mut worst: f64 = 0.0;
+            for (stage, s) in &outcome.summary.stage_percentiles {
+                let mut per_vm: HashMap<u64, (std::time::Duration, std::time::Duration)> =
+                    HashMap::new();
+                for sp in spans.iter().filter(|sp| sp.vm != 0 && sp.name == *stage) {
+                    let e = per_vm.entry(sp.vm).or_default();
+                    e.0 += sp.sim_duration();
+                    e.1 += sp.wall_duration();
+                }
+                let n = per_vm.len().max(1) as f64;
+                let trace_mean = per_vm
+                    .values()
+                    .map(|(sim, _)| sim.as_secs_f64())
+                    .sum::<f64>()
+                    / n;
+                let wall_mean_ms =
+                    per_vm.values().map(|(_, w)| w.as_secs_f64()).sum::<f64>() / n * 1e3;
+                let sim_mean = s.mean.as_secs_f64();
+                let rel = if sim_mean > 0.0 {
+                    (trace_mean - sim_mean).abs() / sim_mean
+                } else if trace_mean > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                };
+                worst = worst.max(rel);
+                t.row(vec![
+                    stage.clone(),
+                    s.n.to_string(),
+                    format!("{:.3}", sim_mean),
+                    format!("{:.3}", s.p50.as_secs_f64()),
+                    format!("{:.3}", s.p90.as_secs_f64()),
+                    format!("{:.3}", s.p99.as_secs_f64()),
+                    format!("{:.3}", trace_mean),
+                    format!("{:.2}", wall_mean_ms),
+                ]);
+            }
+            println!("{}", t.render());
+            println!(
+                "trace/summary reconciliation: max divergence {:.4}% over {} stages",
+                worst * 100.0,
+                outcome.summary.stage_percentiles.len(),
+            );
+            if worst > 0.01 {
+                eprintln!("fastiovctl: trace disagrees with stage summary by more than 1%");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         "memperf" => {

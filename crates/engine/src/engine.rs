@@ -2,6 +2,7 @@
 
 use crate::cgroup::CgroupManager;
 use crate::recovery::RecoveryPolicy;
+use crate::stats::Summary;
 use crate::{LaunchError, Result};
 use fastiov_cni::{CniPlugin, CniResult, NnsRegistry, PodNetSpec, RtnlLock};
 use fastiov_faults::sites;
@@ -176,6 +177,13 @@ pub struct LaunchSummary {
     /// Failure count per class, sorted by class name — deterministic
     /// regardless of thread interleaving, unlike `first_errors` order.
     pub classes: Vec<(&'static str, usize)>,
+    /// Per-stage duration percentiles across the wave's successful pods,
+    /// sorted by stage name. Each pod contributes its *total* time in the
+    /// stage (repeated records summed); pods that never executed a stage
+    /// do not contribute zeros to it, so `Summary::n` says how many did.
+    /// Empty until filled by [`Engine::launch_concurrent`] (or
+    /// [`LaunchSummary::fill_stage_percentiles`]).
+    pub stage_percentiles: Vec<(String, Summary)>,
 }
 
 impl LaunchSummary {
@@ -208,6 +216,38 @@ impl LaunchSummary {
     /// True when every pod started.
     pub fn is_clean(&self) -> bool {
         self.failed == 0
+    }
+
+    /// Computes the per-stage percentile summaries from a wave's
+    /// successful reports.
+    pub fn fill_stage_percentiles<'a>(
+        &mut self,
+        reports: impl IntoIterator<Item = &'a StartupReport>,
+    ) {
+        let mut by_stage: std::collections::BTreeMap<String, Vec<Duration>> = Default::default();
+        for r in reports {
+            let mut names: Vec<&str> = r.records.iter().map(|rec| rec.name.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            for name in names {
+                by_stage
+                    .entry(name.to_string())
+                    .or_default()
+                    .push(r.stage_total(name));
+            }
+        }
+        self.stage_percentiles = by_stage
+            .into_iter()
+            .filter_map(|(name, ds)| Summary::from_durations(&ds).map(|s| (name, s)))
+            .collect();
+    }
+
+    /// The percentile summary of one stage, if any pod executed it.
+    pub fn stage_summary(&self, name: &str) -> Option<&Summary> {
+        self.stage_percentiles
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
     }
 }
 
@@ -323,6 +363,11 @@ impl Engine {
     /// failures retry with deterministic backoff, stages that exceed the
     /// configured timeout fail the attempt.
     pub fn run_pod(&self, index: u32) -> Result<PodHandle> {
+        // Attribute everything this thread does for the pod — including
+        // spans opened deep inside vfio/iommu/fastiovd/nic — to its VM,
+        // under one root span covering the whole startup.
+        let _vm_scope = self.host.tracer.vm_scope(1000 + u64::from(index));
+        let _launch_span = self.host.tracer.span("launch");
         if let Some(pool) = &self.pool {
             if let Some(mut warm) = pool.claim() {
                 let pid = 1000 + u64::from(index);
@@ -413,7 +458,7 @@ impl Engine {
     /// per-pod identity: cgroup, namespace, interface move, IP, MAC/VLAN.
     fn run_pod_warm(&self, index: u32, warm: WarmVm) -> Result<PodHandle> {
         let pid = 1000 + index as u64;
-        let mut log = StageLog::begin(self.host.clock.clone());
+        let mut log = StageLog::begin_traced(self.host.clock.clone(), self.host.tracer.clone());
         let started = log.started();
 
         log.stage(stages::CGROUP, || self.cgroups.create(pid));
@@ -473,7 +518,7 @@ impl Engine {
     /// The cold path: full Fig. 4 launch sequence.
     fn run_pod_cold(&self, index: u32) -> Result<PodHandle> {
         let pid = 1000 + index as u64;
-        let mut log = StageLog::begin(self.host.clock.clone());
+        let mut log = StageLog::begin_traced(self.host.clock.clone(), self.host.tracer.clone());
         let started = log.started();
 
         // Containerd: resource isolation.
@@ -667,7 +712,8 @@ impl Engine {
             .into_iter()
             .map(|h| h.join().unwrap_or(Err(LaunchError::LaunchPanic)))
             .collect();
-        let summary = LaunchSummary::from_results(&pods);
+        let mut summary = LaunchSummary::from_results(&pods);
+        summary.fill_stage_percentiles(pods.iter().flatten().map(|p| &p.report));
         LaunchOutcome { pods, summary }
     }
 

@@ -81,8 +81,9 @@ impl Engine {
             .into_iter()
             .map(|h| h.join().unwrap_or(Err(crate::LaunchError::LaunchPanic)))
             .collect();
-        let summary = LaunchSummary::from_results(&results);
-        let reports = results.into_iter().filter_map(|r| r.ok()).collect();
+        let mut summary = LaunchSummary::from_results(&results);
+        let reports: Vec<StartupReport> = results.into_iter().filter_map(|r| r.ok()).collect();
+        summary.fill_stage_percentiles(&reports);
         SustainedOutcome { reports, summary }
     }
 }

@@ -21,7 +21,7 @@
 use fastiov_faults::{sites, FaultPlane};
 use fastiov_hostmem::{FrameId, FrameRange, Hpa, PhysMemory};
 use fastiov_kvm::EptFaultHook;
-use fastiov_simtime::{Clock, ContentionCounter, LockSnapshot, SimInstant};
+use fastiov_simtime::{Clock, ContentionCounter, LockSnapshot, SimInstant, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -92,6 +92,10 @@ pub struct Fastiovd {
     /// skipped entirely while `faults_enabled` is false.
     faults: RwLock<Arc<FaultPlane>>,
     faults_enabled: AtomicBool,
+    /// Span tracer for the registration and instant-zero paths. The
+    /// per-page EPT-fault path is deliberately *not* traced: its span
+    /// count depends on guest touch order and it is far too hot.
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl Fastiovd {
@@ -119,7 +123,13 @@ impl Fastiovd {
             scrub_running: AtomicBool::new(false),
             faults: RwLock::new(FaultPlane::disabled()),
             faults_enabled: AtomicBool::new(false),
+            tracer: RwLock::new(None),
         })
+    }
+
+    /// Installs the span tracer for the registration paths.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.write() = Some(tracer);
     }
 
     /// Installs the fault plane for the registration path.
@@ -186,6 +196,11 @@ impl Fastiovd {
     /// than the pool VM's pid, because pod-to-pool-VM assignment depends
     /// on thread interleaving while the tenant set does not.
     pub fn register_pages_keyed(&self, pid: u64, fault_key: u64, ranges: &[FrameRange]) -> bool {
+        let _span = self
+            .tracer
+            .read()
+            .as_ref()
+            .map(|t| t.span("fastiovd.register"));
         // The enabled flag is an atomic so the common (fault-free) case
         // takes no lock at all here.
         if self.faults_enabled.load(Ordering::Acquire) {
@@ -236,6 +251,11 @@ impl Fastiovd {
     /// are zeroed now (charged) and removed from tracking so a later EPT
     /// fault will not wipe the hypervisor's data.
     pub fn instant_zero(&self, pid: u64, ranges: &[FrameRange]) -> fastiov_hostmem::Result<()> {
+        let _span = self
+            .tracer
+            .read()
+            .as_ref()
+            .map(|t| t.span("fastiovd.instant-zero"));
         let table = self.vm_table(pid);
         {
             let mut t = table.lock();

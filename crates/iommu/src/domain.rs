@@ -4,8 +4,8 @@ use crate::iotlb::Iotlb;
 use crate::table::{IoPageTable, TableError};
 use crate::{IommuError, Result};
 use fastiov_hostmem::{FrameRange, Hpa, Iova, PageSize, PhysMemory};
-use fastiov_simtime::{Clock, ContentionCounter, LockSnapshot};
-use parking_lot::Mutex;
+use fastiov_simtime::{Clock, ContentionCounter, LockSnapshot, Tracer};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,6 +44,8 @@ pub struct IommuDomain {
     /// Shared across every domain of the owning [`Iommu`]: one aggregate
     /// wait/hold ranking for "the IOMMU table locks".
     table_lock: Arc<ContentionCounter>,
+    /// Captured from the owning [`Iommu`] at domain creation.
+    tracer: Option<Tracer>,
     translations: AtomicU64,
     dma_faults: AtomicU64,
 }
@@ -76,6 +78,10 @@ impl IommuDomain {
         if !iova.is_aligned(self.page.bytes()) {
             return Err(IommuError::Unaligned(iova));
         }
+        // One span per call (not per extent): the extent split depends on
+        // allocator interleaving, so a per-call span keeps the trace's
+        // structural digest deterministic.
+        let _span = self.tracer.as_ref().map(|t| t.span("iommu.map"));
         let pages: usize = ranges.iter().map(|r| r.count).sum();
         self.table_lock.timed(
             || self.table.lock(),
@@ -122,6 +128,7 @@ impl IommuDomain {
         if !iova.is_aligned(self.page.bytes()) {
             return Err(IommuError::Unaligned(iova));
         }
+        let _span = self.tracer.as_ref().map(|t| t.span("iommu.unmap"));
         let start = self.page_no(iova);
         self.table_lock.timed(
             || self.table.lock(),
@@ -186,6 +193,8 @@ pub struct Iommu {
     walk_latency: Duration,
     tlb_capacity: usize,
     table_lock: Arc<ContentionCounter>,
+    /// Tracer captured by domains created after [`Iommu::set_tracer`].
+    tracer: RwLock<Option<Tracer>>,
     inner: Mutex<IommuInner>,
 }
 
@@ -211,6 +220,7 @@ impl Iommu {
             walk_latency,
             tlb_capacity,
             table_lock: Arc::new(ContentionCounter::new()),
+            tracer: RwLock::new(None),
             inner: Mutex::new(IommuInner {
                 domains: HashMap::new(),
                 next_id: 1,
@@ -221,6 +231,13 @@ impl Iommu {
     /// Aggregate wait/hold time across every domain's table lock.
     pub fn table_lock_stats(&self) -> LockSnapshot {
         self.table_lock.snapshot()
+    }
+
+    /// Installs the span tracer. Domains capture the tracer current at
+    /// their creation, so install before the first launch (the host does
+    /// this at construction).
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.write() = Some(tracer);
     }
 
     /// Creates a translation domain with the given page size.
@@ -237,6 +254,7 @@ impl Iommu {
             table: Mutex::new(IoPageTable::new()),
             tlb: Mutex::new(Iotlb::new(self.tlb_capacity)),
             table_lock: Arc::clone(&self.table_lock),
+            tracer: self.tracer.read().clone(),
             translations: AtomicU64::new(0),
             dma_faults: AtomicU64::new(0),
         });

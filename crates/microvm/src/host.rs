@@ -7,7 +7,7 @@ use fastiov_hostmem::{MemCosts, PhysMemory};
 use fastiov_iommu::Iommu;
 use fastiov_nic::{DmaEngine, PfDriver};
 use fastiov_pci::PciBus;
-use fastiov_simtime::{Clock, CpuPool, FairSemaphore, FairShareBandwidth, LockSnapshot};
+use fastiov_simtime::{Clock, CpuPool, FairSemaphore, FairShareBandwidth, LockSnapshot, Tracer};
 use fastiov_vfio::{DevsetManager, LockPolicy};
 use fastiovd::Fastiovd;
 use std::sync::Arc;
@@ -49,6 +49,10 @@ pub struct Host {
     /// The fault-injection plane shared by every instrumented layer.
     /// Disabled (a no-op) unless built via [`Host::with_faults`].
     pub faults: Arc<FaultPlane>,
+    /// The per-launch span tracer shared by every instrumented layer.
+    /// Created disabled; `fastiovctl trace` and tests call
+    /// `tracer.enable()` before launching.
+    pub tracer: Tracer,
     /// The host-global virtiofsd lock serializing device setup.
     virtiofsd_lock: Arc<FairSemaphore>,
 }
@@ -74,6 +78,7 @@ impl Host {
         faults: Arc<FaultPlane>,
     ) -> Result<Arc<Self>> {
         let clock = Clock::with_scale(params.time_scale);
+        let tracer = Tracer::new(clock.clone());
         let cpu = CpuPool::new(clock.clone(), params.host_cores);
         let membw =
             FairShareBandwidth::new(clock.clone(), params.membw_total, params.membw_stream_cap);
@@ -96,7 +101,9 @@ impl Host {
             params.iommu_walk,
             params.iotlb_capacity,
         );
+        iommu.set_tracer(tracer.clone());
         let vfio = DevsetManager::new(Arc::clone(&bus), vfio_policy, params.vfio_open_overhead);
+        vfio.set_tracer(tracer.clone());
         if faults.is_enabled() {
             vfio.set_fault_plane(Arc::clone(&faults));
         }
@@ -115,6 +122,7 @@ impl Host {
                 admin_service: params.admin_service,
             },
         )?;
+        pf.set_tracer(tracer.clone());
         if faults.is_enabled() {
             pf.set_fault_plane(Arc::clone(&faults));
         }
@@ -130,6 +138,7 @@ impl Host {
         let wire = fastiov_nic::Wire::new();
         let fastiovd =
             Fastiovd::with_shards(clock.clone(), Arc::clone(&mem), params.fastiovd_shards);
+        fastiovd.set_tracer(tracer.clone());
         if faults.is_enabled() {
             fastiovd.set_fault_plane(Arc::clone(&faults));
         }
@@ -157,6 +166,7 @@ impl Host {
             virtiofs_bw,
             sw_net_bw,
             faults,
+            tracer,
             virtiofsd_lock: FairSemaphore::new(1),
         }))
     }

@@ -424,7 +424,13 @@ impl Microvm {
             let readiness = driver.readiness();
             if cfg.async_vf_init {
                 let host2 = Arc::clone(host);
+                let pid = cfg.pid;
                 init_thread = Some(std::thread::spawn(move || {
+                    // The init thread is off the launch thread's span
+                    // stack: re-establish VM attribution and give the
+                    // overlapped work its own root span on its own track.
+                    let _vm_scope = host2.tracer.vm_scope(pid);
+                    let _span = host2.tracer.span("vf-init-async");
                     driver.initialize(&host2.cpu, &host2.params, &host2.faults);
                 }));
             } else {

@@ -5,8 +5,8 @@ use crate::vf::{MacAddr, NetdevName, Vf, VfId};
 use crate::{vf_bdf, NicError, Result};
 use fastiov_faults::{sites, FaultPlane};
 use fastiov_pci::{DeviceClass, DriverBinding, PciBus, PciDevice, ResetCapability};
-use fastiov_simtime::{Clock, FairSemaphore};
-use parking_lot::Mutex;
+use fastiov_simtime::{Clock, FairSemaphore, Tracer};
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +54,8 @@ pub struct AdminQueue {
     /// link negotiation, resets) that involve NIC firmware round trips.
     bringup_service: Duration,
     submitted: AtomicU64,
+    /// Span tracer: each submit records queueing + service as one span.
+    tracer: RwLock<Option<Tracer>>,
 }
 
 impl AdminQueue {
@@ -65,7 +67,13 @@ impl AdminQueue {
             config_service,
             bringup_service,
             submitted: AtomicU64::new(0),
+            tracer: RwLock::new(None),
         }
+    }
+
+    /// Installs the span tracer for the submit path.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.write() = Some(tracer);
     }
 
     /// Service time of one command.
@@ -80,7 +88,11 @@ impl AdminQueue {
     }
 
     /// Submits a command for `vf`, blocking for queueing plus service.
+    /// The span covers queueing *and* service: mailbox wait is exactly
+    /// what makes simultaneous VF bring-up scale badly, so it belongs in
+    /// the timeline.
     pub fn submit(&self, vf: &Vf, cmd: AdminCmd) -> AdminReply {
+        let _span = self.tracer.read().as_ref().map(|t| t.span("nic.admin"));
         let _g = self.sem.acquire();
         self.clock.sleep(self.service_for(cmd));
         self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -233,6 +245,11 @@ impl PfDriver {
     /// Installs the fault plane for the link bring-up path.
     pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
         *self.faults.lock() = plane;
+    }
+
+    /// Installs the span tracer on the admin mailbox.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        self.admin.set_tracer(tracer);
     }
 
     /// Link bring-up gate for `vf`, consulted by the guest VF driver

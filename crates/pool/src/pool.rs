@@ -209,7 +209,10 @@ impl Shared {
                 .submit(&vf_ref, AdminCmd::SetMac(MacAddr::for_vf(vf.0)));
             let netdev = self.host.pf.create_dummy_netdev(vf)?;
             let cfg = MicrovmConfig::fastiov(pid, self.params.ram_bytes, self.params.image_bytes);
-            let mut log = StageLog::begin(self.host.clock.clone());
+            // Traced without a VM scope: provisioning is background (vm 0)
+            // work in the timeline, grouped under one root span.
+            let _span = self.host.tracer.span("pool.provision");
+            let mut log = StageLog::begin_traced(self.host.clock.clone(), self.host.tracer.clone());
             let vm = Microvm::launch(
                 &self.host,
                 cfg,
@@ -249,7 +252,9 @@ fn replenisher(shared: Arc<Shared>, rx: Receiver<Cmd>) {
                 let _ = shared.provision_one();
             }
             Cmd::Recycle(warm) => {
-                let mut log = StageLog::begin(shared.host.clock.clone());
+                let _span = shared.host.tracer.span("pool.recycle");
+                let mut log =
+                    StageLog::begin_traced(shared.host.clock.clone(), shared.host.tracer.clone());
                 let key = warm.tenant.unwrap_or(warm.pool_pid);
                 match warm.vm.recycle_keyed(&mut log, key) {
                     Ok(()) => {

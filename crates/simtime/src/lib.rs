@@ -22,12 +22,14 @@ mod lockstat;
 mod resources;
 mod semaphore;
 mod timeline;
+mod tracer;
 
 pub use clock::{Clock, SimInstant};
 pub use lockstat::{ContentionCounter, LockSnapshot};
 pub use resources::{BandwidthResource, CpuPool, FairShareBandwidth, ResourceStats};
 pub use semaphore::FairSemaphore;
 pub use timeline::{StageLog, StageRecord};
+pub use tracer::{Span, SpanGuard, Tracer, VmScope};
 
 use std::time::Duration;
 

@@ -37,12 +37,14 @@ pub struct LockSnapshot {
 
 impl LockSnapshot {
     /// Component-wise sum — aggregates a family of locks (e.g. every
-    /// devset) into one ranking entry.
+    /// devset) into one ranking entry. Saturating, so merging pathological
+    /// snapshots (e.g. from a long soak) can never wrap and panic in a
+    /// debug build mid-report.
     pub fn merged(self, other: LockSnapshot) -> LockSnapshot {
         LockSnapshot {
-            wait_ns: self.wait_ns + other.wait_ns,
-            hold_ns: self.hold_ns + other.hold_ns,
-            acquisitions: self.acquisitions + other.acquisitions,
+            wait_ns: self.wait_ns.saturating_add(other.wait_ns),
+            hold_ns: self.hold_ns.saturating_add(other.hold_ns),
+            acquisitions: self.acquisitions.saturating_add(other.acquisitions),
         }
     }
 
@@ -134,5 +136,35 @@ mod tests {
     #[test]
     fn empty_snapshot_mean_is_zero() {
         assert_eq!(ContentionCounter::new().snapshot().mean_wait_ns(), 0.0);
+    }
+
+    #[test]
+    fn merging_empty_snapshots_is_identity() {
+        let empty = LockSnapshot::default();
+        assert_eq!(empty.merged(empty), empty);
+        assert_eq!(empty.merged(empty).mean_wait_ns(), 0.0);
+
+        let c = ContentionCounter::new();
+        c.record(10, 5);
+        let s = c.snapshot();
+        // Empty is a neutral element on either side.
+        assert_eq!(s.merged(empty), s);
+        assert_eq!(empty.merged(s), s);
+        assert!((s.merged(empty).mean_wait_ns() - 10.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merged_saturates_instead_of_wrapping() {
+        let huge = LockSnapshot {
+            wait_ns: u64::MAX,
+            hold_ns: u64::MAX,
+            acquisitions: u64::MAX,
+        };
+        let one = LockSnapshot {
+            wait_ns: 1,
+            hold_ns: 1,
+            acquisitions: 1,
+        };
+        assert_eq!(huge.merged(one), huge);
     }
 }

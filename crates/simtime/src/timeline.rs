@@ -6,7 +6,7 @@
 //! each container thread owns one and records `(stage, start, end)`
 //! triples in simulated time.
 
-use crate::{Clock, SimInstant};
+use crate::{Clock, SimInstant, Tracer};
 use std::time::Duration;
 
 /// One recorded stage interval.
@@ -33,6 +33,7 @@ pub struct StageLog {
     clock: Clock,
     records: Vec<StageRecord>,
     started: SimInstant,
+    tracer: Option<Tracer>,
 }
 
 impl StageLog {
@@ -43,7 +44,19 @@ impl StageLog {
             clock,
             records: Vec::new(),
             started,
+            tracer: None,
         }
+    }
+
+    /// Creates a log that mirrors every stage into `tracer` as a span.
+    ///
+    /// The span and the [`StageRecord`] share the *same* clock readings,
+    /// so the trace timeline reconciles exactly with the stage-mean
+    /// aggregates computed from the records.
+    pub fn begin_traced(clock: Clock, tracer: Tracer) -> Self {
+        let mut log = Self::begin(clock);
+        log.tracer = Some(tracer);
+        log
     }
 
     /// Simulated time at which this container's startup began.
@@ -51,11 +64,17 @@ impl StageLog {
         self.started
     }
 
-    /// Times `f` and records it under `name`.
+    /// Times `f` and records it under `name`. When the log is traced, a
+    /// span with the identical interval is emitted; spans opened inside
+    /// `f` on the same thread nest under it.
     pub fn stage<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
         let start = self.clock.now();
+        let guard = self.tracer.as_ref().map(|t| t.span_at(name, start));
         let r = f();
         let end = self.clock.now();
+        if let Some(g) = guard {
+            g.finish_at(end);
+        }
         self.records.push(StageRecord {
             name: name.to_string(),
             start,
@@ -128,6 +147,36 @@ mod tests {
             log.stage("1-dma-ram", || clock.sleep(Duration::from_millis(5)));
         }
         assert!(log.total_for("1-dma-ram") >= Duration::from_millis(12));
+    }
+
+    #[test]
+    fn traced_stage_span_matches_record_exactly() {
+        let clock = Clock::with_scale(0.0001);
+        let tracer = Tracer::new(clock.clone());
+        tracer.enable();
+        let mut log = StageLog::begin_traced(clock.clone(), tracer.clone());
+        log.stage("4-vfio-dev", || clock.sleep(Duration::from_millis(10)));
+        let rec = &log.records()[0];
+        let spans = tracer.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "4-vfio-dev");
+        // Shared clock readings: span and record agree to the nanosecond.
+        assert_eq!(spans[0].sim_start, rec.start);
+        assert_eq!(spans[0].sim_end, rec.end);
+    }
+
+    #[test]
+    fn traced_stage_nests_inner_spans() {
+        let clock = Clock::with_scale(0.0001);
+        let tracer = Tracer::new(clock.clone());
+        tracer.enable();
+        let mut log = StageLog::begin_traced(clock.clone(), tracer.clone());
+        log.stage("1-dma-ram", || tracer.span("iommu.map").finish());
+        let spans = tracer.spans();
+        let stage = spans.iter().find(|s| s.name == "1-dma-ram").unwrap();
+        let inner = spans.iter().find(|s| s.name == "iommu.map").unwrap();
+        assert_eq!(inner.parent, Some(stage.id));
+        assert_eq!(inner.depth, stage.depth + 1);
     }
 
     #[test]

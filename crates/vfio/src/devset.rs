@@ -235,6 +235,8 @@ pub struct DevsetManager {
     /// Fault plane consulted on the ioctl paths. Groups capture the plane
     /// installed at their registration time.
     faults: Mutex<Arc<FaultPlane>>,
+    /// Span tracer for the open path; installed at host construction.
+    tracer: RwLock<Option<fastiov_simtime::Tracer>>,
 }
 
 impl DevsetManager {
@@ -255,6 +257,7 @@ impl DevsetManager {
             resets: AtomicU64::new(0),
             busy: AtomicU64::new(0),
             faults: Mutex::new(FaultPlane::disabled()),
+            tracer: RwLock::new(None),
         })
     }
 
@@ -262,6 +265,11 @@ impl DevsetManager {
     /// before devices are registered: groups capture the current plane.
     pub fn set_fault_plane(&self, plane: Arc<FaultPlane>) {
         *self.faults.lock() = plane;
+    }
+
+    /// Installs the span tracer for the open path.
+    pub fn set_tracer(&self, tracer: fastiov_simtime::Tracer) {
+        *self.tracer.write() = Some(tracer);
     }
 
     /// The lock policy devices are created with.
@@ -354,6 +362,7 @@ impl DevsetManager {
     /// bottleneck 1: under [`LockPolicy::Coarse`], concurrent opens of
     /// different VFs serialize on the devset mutex.
     pub fn open(&self, bdf: Bdf) -> Result<VfioDeviceFd> {
+        let _span = self.tracer.read().as_ref().map(|t| t.span("vfio.open"));
         let dev = self.device(bdf)?;
         // VFIO only hands out device descriptors through an attached
         // group (VFIO_GROUP_GET_DEVICE_FD).

@@ -3,6 +3,15 @@
 //! These run the full stack (engine → CNI → hypervisor → VFIO → KVM →
 //! fastiovd → NIC) at a small scale and assert the *orderings* the paper
 //! establishes, which must hold at any scale.
+//!
+//! Flakiness audit: the simulated clock is wall-clock backed, so every
+//! measured duration carries strictly *additive* scheduler noise. Any
+//! assertion comparing two measured durations therefore takes the
+//! minimum over [`RUNS`] runs per side first — the minimum converges on
+//! the modelled cost, which is what the orderings are about. Assertions
+//! on structure (zero vs non-zero stages, record consistency, byte
+//! counts) are noise-free and run once. `tests/concurrency.rs` is
+//! all-structural and needs no such treatment.
 
 use fastiov_repro::apps::AppKind;
 use fastiov_repro::microvm::stages;
@@ -10,6 +19,9 @@ use fastiov_repro::{
     run_app_experiment, run_startup_experiment, Baseline, ExperimentConfig, StartupRunResult,
 };
 use std::time::Duration;
+
+/// Runs per side of a timing comparison; the min over them is compared.
+const RUNS: usize = 3;
 
 fn smoke(baseline: Baseline, conc: u32) -> StartupRunResult {
     run_startup_experiment(&ExperimentConfig::smoke(baseline, conc)).expect("startup run")
@@ -23,72 +35,94 @@ fn timed(baseline: Baseline, conc: u32) -> StartupRunResult {
     run_startup_experiment(&cfg).expect("startup run")
 }
 
+/// [`RUNS`] timed runs of one baseline, for min-over-runs comparisons.
+fn timed_runs(baseline: Baseline, conc: u32) -> Vec<StartupRunResult> {
+    (0..RUNS).map(|_| timed(baseline, conc)).collect()
+}
+
+/// Minimum of a per-run metric: the run least inflated by scheduling
+/// noise, i.e. the closest observation of the modelled cost.
+fn min_of(runs: &[StartupRunResult], metric: impl Fn(&StartupRunResult) -> Duration) -> Duration {
+    runs.iter().map(metric).min().expect("at least one run")
+}
+
 #[test]
 fn fastiov_beats_vanilla_on_vf_related_time() {
-    let vanilla = timed(Baseline::Vanilla, 8);
-    let fast = timed(Baseline::FastIov, 8);
+    let vanilla = timed_runs(Baseline::Vanilla, 8);
+    let fast = timed_runs(Baseline::FastIov, 8);
+    let (v_vf, f_vf) = (
+        min_of(&vanilla, |r| r.vf_related.mean),
+        min_of(&fast, |r| r.vf_related.mean),
+    );
     assert!(
-        fast.vf_related.mean < vanilla.vf_related.mean,
-        "FastIOV vf-related {:?} must beat vanilla {:?}",
-        fast.vf_related.mean,
-        vanilla.vf_related.mean
+        f_vf < v_vf,
+        "FastIOV vf-related {f_vf:?} must beat vanilla {v_vf:?}"
     );
 }
 
 #[test]
 fn no_net_has_zero_vf_time_and_fastiov_approaches_it() {
-    let nonet = timed(Baseline::NoNet, 6);
-    let fast = timed(Baseline::FastIov, 6);
-    let vanilla = timed(Baseline::Vanilla, 6);
-    assert_eq!(nonet.vf_related.mean, Duration::ZERO);
+    let nonet = timed_runs(Baseline::NoNet, 6);
+    let fast = timed_runs(Baseline::FastIov, 6);
+    let vanilla = timed_runs(Baseline::Vanilla, 6);
+    // Structural: no-net has no VF-related stages at all, in every run.
+    for run in &nonet {
+        assert_eq!(run.vf_related.mean, Duration::ZERO);
+    }
     // FastIOV's distance to no-net must be smaller than vanilla's, and
     // its VF-related time a small fraction of vanilla's (the noise-free
     // signal: VF-related time excludes the shared startup stages).
-    let fast_gap = fast.total.mean.saturating_sub(nonet.total.mean);
-    let vanilla_gap = vanilla.total.mean.saturating_sub(nonet.total.mean);
+    let nonet_total = min_of(&nonet, |r| r.total.mean);
+    let fast_gap = min_of(&fast, |r| r.total.mean).saturating_sub(nonet_total);
+    let vanilla_gap = min_of(&vanilla, |r| r.total.mean).saturating_sub(nonet_total);
     assert!(
         fast_gap < vanilla_gap,
         "fast gap {fast_gap:?} vs vanilla gap {vanilla_gap:?}"
     );
-    assert!(
-        fast.vf_related.mean * 2 < vanilla.vf_related.mean,
-        "fast vf {:?} vs vanilla vf {:?}",
-        fast.vf_related.mean,
-        vanilla.vf_related.mean
+    let (f_vf, v_vf) = (
+        min_of(&fast, |r| r.vf_related.mean),
+        min_of(&vanilla, |r| r.vf_related.mean),
     );
+    assert!(f_vf * 2 < v_vf, "fast vf {f_vf:?} vs vanilla vf {v_vf:?}");
 }
 
 #[test]
 fn every_ablation_variant_lands_between_vanilla_and_fastiov() {
-    let vanilla = timed(Baseline::Vanilla, 8);
-    let fast = timed(Baseline::FastIov, 8);
+    let vanilla = min_of(&timed_runs(Baseline::Vanilla, 8), |r| r.total.mean);
+    let fast = min_of(&timed_runs(Baseline::FastIov, 8), |r| r.total.mean);
     for variant in [
         Baseline::FastIovMinusL,
         Baseline::FastIovMinusA,
         Baseline::FastIovMinusS,
         Baseline::FastIovMinusD,
     ] {
-        let run = timed(variant, 8);
+        let run = min_of(&timed_runs(variant, 8), |r| r.total.mean);
         // Each variant is missing one optimization: no better than full
-        // FastIOV (small tolerance for scheduling noise), no worse than
-        // 1.2x vanilla.
+        // FastIOV (small tolerance for residual noise in the minima), no
+        // worse than 1.2x vanilla.
         assert!(
-            run.total.mean.as_secs_f64() >= fast.total.mean.as_secs_f64() * 0.8,
-            "{variant} unexpectedly faster than FastIOV"
+            run.as_secs_f64() >= fast.as_secs_f64() * 0.8,
+            "{variant} unexpectedly faster than FastIOV ({run:?} vs {fast:?})"
         );
         assert!(
-            run.total.mean.as_secs_f64() <= vanilla.total.mean.as_secs_f64() * 1.2,
-            "{variant} slower than vanilla"
+            run.as_secs_f64() <= vanilla.as_secs_f64() * 1.2,
+            "{variant} slower than vanilla ({run:?} vs {vanilla:?})"
         );
     }
 }
 
 #[test]
 fn prezero_improves_vanilla_dma_stage() {
-    let vanilla = smoke(Baseline::Vanilla, 8);
-    let pre = smoke(Baseline::Prezero(100), 8);
-    let v_dma = vanilla.stage_means[stages::DMA_RAM];
-    let p_dma = pre.stage_means[stages::DMA_RAM];
+    // Stage means at the fine smoke scale carry proportionally more
+    // noise, so this comparison is min-over-runs too.
+    let dma = |b: Baseline| {
+        (0..RUNS)
+            .map(|_| smoke(b, 8).stage_means[stages::DMA_RAM])
+            .min()
+            .expect("runs")
+    };
+    let v_dma = dma(Baseline::Vanilla);
+    let p_dma = dma(Baseline::Prezero(100));
     assert!(
         p_dma <= v_dma,
         "pre-zeroing must not make DMA mapping slower: {p_dma:?} vs {v_dma:?}"
@@ -117,14 +151,8 @@ fn ipvtap_records_addcni_and_no_vf_stages() {
 fn original_cni_is_slower_than_fixed_cni() {
     // Scheduling noise under load is strictly additive on the scaled
     // clock, so the minimum over a few runs isolates the modelled cost.
-    let best = |b: Baseline| {
-        (0..3)
-            .map(|_| timed(b, 6).total.mean)
-            .min()
-            .expect("three runs")
-    };
-    let original = best(Baseline::VanillaOriginal);
-    let fixed = best(Baseline::Vanilla);
+    let original = min_of(&timed_runs(Baseline::VanillaOriginal, 6), |r| r.total.mean);
+    let fixed = min_of(&timed_runs(Baseline::Vanilla, 6), |r| r.total.mean);
     // Binding to the host driver and rebinding to VFIO every launch costs
     // strictly more than the pre-bound flow (§5).
     assert!(original > fixed, "original {original:?} vs fixed {fixed:?}");
@@ -132,31 +160,43 @@ fn original_cni_is_slower_than_fixed_cni() {
 
 #[test]
 fn serverless_tasks_complete_and_fastiov_wins() {
-    let mut cfg_v = ExperimentConfig::smoke(Baseline::Vanilla, 4);
-    cfg_v.host.time_scale = 1e-2;
-    let mut cfg_f = ExperimentConfig::smoke(Baseline::FastIov, 4);
-    cfg_f.host.time_scale = 1e-2;
-    let van = run_app_experiment(&cfg_v, AppKind::Image).expect("vanilla tasks");
-    let fast = run_app_experiment(&cfg_f, AppKind::Image).expect("fastiov tasks");
-    assert_eq!(van.tasks.len(), 4);
-    assert_eq!(fast.tasks.len(), 4);
-    for t in van.tasks.iter().chain(&fast.tasks) {
-        assert!(t.completion >= t.startup);
-        assert_eq!(t.downloaded, 2 * 1024 * 1024);
-    }
-    // The startup portion is the noise-robust signal; completions carry
-    // identical execution/download times plus scheduling jitter.
-    let van_startup: Duration = van.tasks.iter().map(|t| t.startup).sum();
-    let fast_startup: Duration = fast.tasks.iter().map(|t| t.startup).sum();
+    // One run per side used to flake here: completions mix identical
+    // modelled execution/download time with scheduling jitter, and a
+    // single noisy FastIOV run could blow the 1.05x margin. Structural
+    // checks run on every run; the timing comparison takes the minimum
+    // per metric over RUNS runs per baseline, the same idiom as
+    // `original_cni_is_slower_than_fixed_cni`.
+    let best = |b: Baseline| {
+        let per_run: Vec<(Duration, Duration)> = (0..RUNS)
+            .map(|_| {
+                let mut cfg = ExperimentConfig::smoke(b, 4);
+                cfg.host.time_scale = 1e-2;
+                let run = run_app_experiment(&cfg, AppKind::Image).expect("tasks");
+                assert_eq!(run.tasks.len(), 4);
+                for t in &run.tasks {
+                    assert!(t.completion >= t.startup);
+                    assert_eq!(t.downloaded, 2 * 1024 * 1024);
+                }
+                let startup: Duration = run.tasks.iter().map(|t| t.startup).sum();
+                (startup, run.completion.mean)
+            })
+            .collect();
+        // Minimum per metric, not per run: the least-noisy observation of
+        // each, which need not come from the same run.
+        (
+            per_run.iter().map(|r| r.0).min().expect("runs"),
+            per_run.iter().map(|r| r.1).min().expect("runs"),
+        )
+    };
+    let (van_startup, van_completion) = best(Baseline::Vanilla);
+    let (fast_startup, fast_completion) = best(Baseline::FastIov);
     assert!(
         fast_startup < van_startup,
         "fastiov startup {fast_startup:?} vs vanilla {van_startup:?}"
     );
     assert!(
-        fast.completion.mean.as_secs_f64() <= van.completion.mean.as_secs_f64() * 1.05,
-        "fastiov completion {:?} vs vanilla {:?}",
-        fast.completion.mean,
-        van.completion.mean
+        fast_completion.as_secs_f64() <= van_completion.as_secs_f64() * 1.05,
+        "fastiov completion {fast_completion:?} vs vanilla {van_completion:?}"
     );
 }
 
