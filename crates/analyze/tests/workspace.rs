@@ -1,0 +1,66 @@
+//! The lint pass run against the actual workspace tree — the same check
+//! as `cargo run -p fastiov-analyze`, wired into `cargo test` so the
+//! discipline cannot rot between CI configurations.
+
+use fastiov_analyze::{allowlist_total, analyze_workspace, check_allowlist, parse_allowlist};
+use std::path::Path;
+
+/// The seeded allowlist budget. The acceptance bar for every future PR:
+/// the total may go down, never up.
+const SEEDED_ALLOWLIST_TOTAL: usize = 0;
+
+fn workspace_root() -> &'static Path {
+    // crates/analyze -> crates -> root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crate lives two levels under the workspace root")
+}
+
+#[test]
+fn workspace_is_clean_and_allowlist_has_not_grown() {
+    let root = workspace_root();
+    let analysis = analyze_workspace(root);
+    assert!(
+        analysis.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root {}?",
+        analysis.files_scanned,
+        root.display()
+    );
+    assert!(
+        analysis.violations.is_empty(),
+        "hard violations:\n{}",
+        analysis
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+
+    let allow_text = std::fs::read_to_string(root.join("crates/analyze/allowlist.txt"))
+        .expect("allowlist.txt is checked in");
+    let allow = parse_allowlist(&allow_text).expect("allowlist parses");
+    let errors = check_allowlist(&analysis.unwrap_counts, &allow);
+    assert!(
+        errors.is_empty(),
+        "allowlist mismatch:\n{}\nsites:\n{}",
+        errors.join("\n"),
+        analysis
+            .unwrap_sites
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // `saturating_sub` sidesteps clippy's absurd-comparison lint while the
+    // seeded budget is zero; the assertion is "has not grown", so going
+    // below the seed is always fine.
+    assert_eq!(
+        allowlist_total(&allow).saturating_sub(SEEDED_ALLOWLIST_TOTAL),
+        0,
+        "the unwrap/expect allowlist grew ({} > {}); it may only shrink",
+        allowlist_total(&allow),
+        SEEDED_ALLOWLIST_TOTAL
+    );
+}

@@ -1,7 +1,7 @@
 //! The storage server: deterministic synthetic objects served over the
 //! (simulated) network.
 
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -27,14 +27,14 @@ pub fn object_byte(seed: u64, offset: u64) -> u8 {
 
 /// The storage server of the two-server testbed (§6.1).
 pub struct StorageServer {
-    objects: Mutex<HashMap<String, Object>>,
+    objects: TrackedMutex<HashMap<String, Object>>,
 }
 
 impl StorageServer {
     /// Creates an empty server.
     pub fn new() -> Self {
         StorageServer {
-            objects: Mutex::new(HashMap::new()),
+            objects: TrackedMutex::new(LockClass::AppStorage, HashMap::new()),
         }
     }
 

@@ -8,7 +8,7 @@
 use crate::{CniError, Result};
 use fastiov_nic::NetdevName;
 use fastiov_simtime::{Clock, FairSemaphore};
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -55,7 +55,7 @@ pub struct NnsState {
 /// Handle to a namespace.
 pub struct Nns {
     id: u64,
-    state: Mutex<NnsState>,
+    state: TrackedMutex<NnsState>,
 }
 
 impl Nns {
@@ -91,7 +91,7 @@ pub struct NnsRegistry {
     move_hold: Duration,
     /// rtnl hold for address configuration.
     ip_hold: Duration,
-    namespaces: Mutex<HashMap<u64, Arc<Nns>>>,
+    namespaces: TrackedMutex<HashMap<u64, Arc<Nns>>>,
 }
 
 impl NnsRegistry {
@@ -109,7 +109,7 @@ impl NnsRegistry {
             create_cost,
             move_hold,
             ip_hold,
-            namespaces: Mutex::new(HashMap::new()),
+            namespaces: TrackedMutex::new(LockClass::CniRegistry, HashMap::new()),
         })
     }
 
@@ -123,7 +123,7 @@ impl NnsRegistry {
         self.clock.sleep(self.create_cost);
         let nns = Arc::new(Nns {
             id,
-            state: Mutex::new(NnsState::default()),
+            state: TrackedMutex::new(LockClass::CniNns, NnsState::default()),
         });
         self.namespaces.lock().insert(id, Arc::clone(&nns));
         nns
@@ -175,6 +175,7 @@ impl NnsRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastiov_simtime::WallStopwatch;
 
     fn registry() -> Arc<NnsRegistry> {
         let clock = Clock::with_scale(1e-5);
@@ -207,7 +208,7 @@ mod tests {
     fn rtnl_serializes_holders() {
         let clock = Clock::with_scale(1e-3);
         let rtnl = RtnlLock::new(clock);
-        let t0 = std::time::Instant::now();
+        let t0 = WallStopwatch::start();
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let rtnl = Arc::clone(&rtnl);

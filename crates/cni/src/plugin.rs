@@ -6,7 +6,7 @@ use crate::{CniError, Result};
 use fastiov_microvm::{stages, Host};
 use fastiov_nic::{AdminCmd, MacAddr, NetdevName, VfId};
 use fastiov_simtime::StageLog;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -43,14 +43,14 @@ impl CniParams {
 
 /// Pool of free VFs, owned by the SR-IOV plugins.
 pub struct VfAllocator {
-    free: Mutex<Vec<VfId>>,
+    free: TrackedMutex<Vec<VfId>>,
 }
 
 impl VfAllocator {
     /// Creates an allocator over VFs `0..n`.
     pub fn new(n: u16) -> Arc<Self> {
         Arc::new(VfAllocator {
-            free: Mutex::new((0..n).rev().map(VfId).collect()),
+            free: TrackedMutex::new(LockClass::CniRegistry, (0..n).rev().map(VfId).collect()),
         })
     }
 

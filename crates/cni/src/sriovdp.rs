@@ -10,7 +10,7 @@
 
 use crate::{CniError, Result};
 use fastiov_nic::{PfDriver, VfId};
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -70,7 +70,7 @@ pub struct DevicePluginStats {
 /// The device plugin: VF discovery, advertisement, allocation.
 pub struct DevicePlugin {
     resource_name: String,
-    devices: Mutex<BTreeMap<u16, Device>>,
+    devices: TrackedMutex<BTreeMap<u16, Device>>,
     allocations: AtomicU64,
     refusals: AtomicU64,
     watches: AtomicU64,
@@ -93,7 +93,7 @@ impl DevicePlugin {
             .collect();
         Arc::new(DevicePlugin {
             resource_name: resource_name.to_string(),
-            devices: Mutex::new(devices),
+            devices: TrackedMutex::new(LockClass::CniRegistry, devices),
             allocations: AtomicU64::new(0),
             refusals: AtomicU64::new(0),
             watches: AtomicU64::new(0),

@@ -10,6 +10,8 @@
 //! fastiovctl faults --baseline pool16 --conc 50 [--rate 0.01] [--seed 1]
 //! fastiovctl contention --conc 50 [--shards 8] [--baseline fastiov]
 //! fastiovctl trace [--baseline fastiov] [--conc 200] [--out FILE] [--smoke]
+//! fastiovctl lockdep [--baseline NAME] [--conc 200] [--out FILE]
+//!                    [--json FILE] [--smoke]
 //! fastiovctl memperf
 //! ```
 //!
@@ -165,7 +167,8 @@ fn usage() -> ExitCode {
          [--conc N] [--rate F] [--seed N] [--scale F]\n  fastiovctl contention \
          [--baseline <name>] [--conc N] [--shards N] [--scale F]\n  fastiovctl trace \
          [--baseline <name>] [--conc N] [--out FILE] [--scale F] [--smoke]\n  \
-         fastiovctl memperf [--scale F]"
+         fastiovctl lockdep [--baseline <name>] [--conc N] [--out FILE] [--json FILE] \
+         [--scale F] [--smoke]\n  fastiovctl memperf [--scale F]"
     );
     ExitCode::FAILURE
 }
@@ -546,6 +549,81 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
+        }
+        "lockdep" => {
+            use fastiov::simtime::lockdep;
+            let smoke = flags.contains_key("smoke");
+            // Without --baseline, cover both lock disciplines: vanilla
+            // drives LockPolicy::Coarse, fastiov LockPolicy::Hierarchical.
+            let baselines: Vec<Baseline> = match flags.get("baseline") {
+                Some(name) => match baseline_from(name) {
+                    Some(b) => vec![b],
+                    None => {
+                        eprintln!("unknown baseline {name} (see `fastiovctl baselines`)");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => vec![Baseline::Vanilla, Baseline::FastIov],
+            };
+            lockdep::enable();
+            lockdep::reset();
+            for b in &baselines {
+                let mut cfg = config(&flags, *b);
+                if !flags.contains_key("conc") {
+                    // The paper's headline wave; --smoke shrinks it so the
+                    // CI lint lane can afford the run.
+                    cfg.concurrency = if smoke { 8 } else { 200 };
+                }
+                let (_host, engine) = match cfg.build() {
+                    Ok(built) => built,
+                    Err(e) => return fail(&e),
+                };
+                let outcome = engine.launch_concurrent(cfg.concurrency);
+                for pod in outcome.pods.iter().flatten() {
+                    let _ = engine.teardown_pod(pod);
+                }
+                if let Some(pool) = engine.pool() {
+                    pool.wait_idle();
+                }
+                println!(
+                    "{} at conc {}: {}",
+                    b.label(),
+                    cfg.concurrency,
+                    outcome.summary
+                );
+            }
+            let out = flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "lockgraph.dot".to_string());
+            if let Err(e) = std::fs::write(&out, lockdep::graph_dot()) {
+                eprintln!("fastiovctl: cannot write {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            if let Some(json) = flags.get("json") {
+                if let Err(e) = std::fs::write(json, lockdep::graph_json()) {
+                    eprintln!("fastiovctl: cannot write {json}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("lock graph -> {out} (DOT), {json} (JSON)");
+            } else {
+                println!("lock graph -> {out} (render with `dot -Tsvg`)");
+            }
+            let reports = lockdep::reports();
+            if reports.is_empty() {
+                println!(
+                    "lockdep: no potential deadlocks, hierarchy violations, or \
+                     cross-instance holds across {} wave(s)",
+                    baselines.len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                for r in &reports {
+                    eprintln!("lockdep: {r}");
+                }
+                eprintln!("fastiovctl: {} lock-discipline report(s)", reports.len());
+                ExitCode::FAILURE
+            }
         }
         "memperf" => {
             let base = config(&flags, Baseline::Vanilla);

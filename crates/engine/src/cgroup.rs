@@ -6,7 +6,7 @@
 //! startup (Fig. 14).
 
 use fastiov_simtime::{Clock, FairSemaphore};
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
@@ -19,7 +19,7 @@ pub struct CgroupManager {
     base: Duration,
     /// Work under the global cgroup lock per cgroup.
     hold: Duration,
-    groups: Mutex<HashSet<u64>>,
+    groups: TrackedMutex<HashSet<u64>>,
 }
 
 impl CgroupManager {
@@ -30,7 +30,7 @@ impl CgroupManager {
             lock: FairSemaphore::new(1),
             base,
             hold,
-            groups: Mutex::new(HashSet::new()),
+            groups: TrackedMutex::new(LockClass::CgroupRegistry, HashSet::new()),
         })
     }
 
@@ -63,6 +63,7 @@ impl CgroupManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastiov_simtime::WallStopwatch;
 
     #[test]
     fn create_and_remove() {
@@ -86,7 +87,7 @@ mod tests {
             Duration::ZERO,
             Duration::from_millis(2000),
         );
-        let t0 = std::time::Instant::now();
+        let t0 = WallStopwatch::start();
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let m = Arc::clone(&m);

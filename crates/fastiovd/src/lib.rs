@@ -21,8 +21,10 @@
 use fastiov_faults::{sites, FaultPlane};
 use fastiov_hostmem::{FrameId, FrameRange, Hpa, PhysMemory};
 use fastiov_kvm::EptFaultHook;
-use fastiov_simtime::{Clock, ContentionCounter, LockSnapshot, SimInstant, Tracer};
-use parking_lot::{Mutex, RwLock};
+use fastiov_simtime::{
+    Clock, ContentionCounter, LockClass, LockSnapshot, SimInstant, Tracer, TrackedMutex,
+    TrackedRwLock,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -65,7 +67,7 @@ pub struct FastiovdStats {
 }
 
 /// One tier-1 shard: the PID → VM-table slice owned by `pid % N`.
-type Tier1Shard = RwLock<HashMap<u64, Arc<Mutex<VmTable>>>>;
+type Tier1Shard = TrackedRwLock<HashMap<u64, Arc<TrackedMutex<VmTable>>>>;
 
 /// The module state.
 ///
@@ -90,12 +92,12 @@ pub struct Fastiovd {
     /// Fault plane consulted when the DMA-map path registers pages. Read
     /// on the hot path (RwLock, never write-contended after setup) and
     /// skipped entirely while `faults_enabled` is false.
-    faults: RwLock<Arc<FaultPlane>>,
+    faults: TrackedRwLock<Arc<FaultPlane>>,
     faults_enabled: AtomicBool,
     /// Span tracer for the registration and instant-zero paths. The
     /// per-page EPT-fault path is deliberately *not* traced: its span
     /// count depends on guest touch order and it is far too hot.
-    tracer: RwLock<Option<Tracer>>,
+    tracer: TrackedRwLock<Option<Tracer>>,
 }
 
 impl Fastiovd {
@@ -113,7 +115,9 @@ impl Fastiovd {
         Arc::new(Fastiovd {
             mem,
             clock,
-            shards: (0..shards).map(|_| RwLock::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| TrackedRwLock::new(LockClass::FastiovdShard, HashMap::new()))
+                .collect(),
             tier1_lock: ContentionCounter::new(),
             tracked: AtomicU64::new(0),
             lazily_zeroed: AtomicU64::new(0),
@@ -121,9 +125,9 @@ impl Fastiovd {
             instantly_zeroed: AtomicU64::new(0),
             registered: AtomicU64::new(0),
             scrub_running: AtomicBool::new(false),
-            faults: RwLock::new(FaultPlane::disabled()),
+            faults: TrackedRwLock::new(LockClass::FaultPlane, FaultPlane::disabled()),
             faults_enabled: AtomicBool::new(false),
-            tracer: RwLock::new(None),
+            tracer: TrackedRwLock::new(LockClass::TracerSlot, None),
         })
     }
 
@@ -157,11 +161,11 @@ impl Fastiovd {
         self.tier1_lock.snapshot()
     }
 
-    fn shard_for(&self, pid: u64) -> &RwLock<HashMap<u64, Arc<Mutex<VmTable>>>> {
+    fn shard_for(&self, pid: u64) -> &Tier1Shard {
         &self.shards[(pid % self.shards.len() as u64) as usize]
     }
 
-    fn vm_table(&self, pid: u64) -> Arc<Mutex<VmTable>> {
+    fn vm_table(&self, pid: u64) -> Arc<TrackedMutex<VmTable>> {
         let shard = self.shard_for(pid);
         // Fast path: the table exists; a read lock suffices.
         if let Some(t) = self
@@ -173,10 +177,12 @@ impl Fastiovd {
         self.tier1_lock.timed(
             || shard.write(),
             |mut g| {
-                Arc::clone(
-                    g.entry(pid)
-                        .or_insert_with(|| Arc::new(Mutex::new(VmTable::default()))),
-                )
+                Arc::clone(g.entry(pid).or_insert_with(|| {
+                    Arc::new(TrackedMutex::new(
+                        LockClass::FastiovdVmTable,
+                        VmTable::default(),
+                    ))
+                }))
             },
         )
     }
@@ -315,7 +321,7 @@ impl Fastiovd {
         }
         let mut done = 0;
         'sweep: for shard in self.shards.iter() {
-            let tables: Vec<Arc<Mutex<VmTable>>> = self
+            let tables: Vec<Arc<TrackedMutex<VmTable>>> = self
                 .tier1_lock
                 .timed(|| shard.read(), |g| g.values().cloned().collect());
             for table in tables {
@@ -570,8 +576,8 @@ mod tests {
         let handle = d.start_scrubber(Duration::from_millis(1), 4);
         // At 1e-5 scale the interval is sub-microsecond real; give the
         // thread a moment.
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
-        while d.stats().tracked > 0 && std::time::Instant::now() < deadline {
+        let sw = fastiov_simtime::WallStopwatch::start();
+        while d.stats().tracked > 0 && sw.elapsed() < Duration::from_secs(2) {
             std::thread::sleep(Duration::from_millis(5));
         }
         handle.stop();

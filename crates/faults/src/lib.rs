@@ -21,7 +21,7 @@
 #![warn(missing_docs)]
 
 use fastiov_simtime::Clock;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -175,8 +175,8 @@ pub struct FaultPlane {
     /// check is a no-op (the fault-free fast path).
     points: BTreeMap<&'static str, Vec<FaultPoint>>,
     /// Per-(site, key) check counts — the deterministic "time" axis.
-    counters: Mutex<BTreeMap<(u64, u64), u64>>,
-    stats: Mutex<BTreeMap<&'static str, SiteStats>>,
+    counters: TrackedMutex<BTreeMap<(u64, u64), u64>>,
+    stats: TrackedMutex<BTreeMap<&'static str, SiteStats>>,
 }
 
 impl FaultPlane {
@@ -187,8 +187,8 @@ impl FaultPlane {
         Arc::new(FaultPlane {
             seed: 0,
             points: BTreeMap::new(),
-            counters: Mutex::new(BTreeMap::new()),
-            stats: Mutex::new(BTreeMap::new()),
+            counters: TrackedMutex::new(LockClass::FaultPlane, BTreeMap::new()),
+            stats: TrackedMutex::new(LockClass::FaultPlane, BTreeMap::new()),
         })
     }
 
@@ -201,8 +201,8 @@ impl FaultPlane {
         Arc::new(FaultPlane {
             seed,
             points: by_site,
-            counters: Mutex::new(BTreeMap::new()),
-            stats: Mutex::new(BTreeMap::new()),
+            counters: TrackedMutex::new(LockClass::FaultPlane, BTreeMap::new()),
+            stats: TrackedMutex::new(LockClass::FaultPlane, BTreeMap::new()),
         })
     }
 

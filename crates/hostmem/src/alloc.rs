@@ -10,8 +10,9 @@
 use crate::addr::{Hpa, PageSize};
 use crate::content::PageContent;
 use crate::{MemError, Result};
-use fastiov_simtime::{Clock, ContentionCounter, CpuPool, FairShareBandwidth, LockSnapshot};
-use parking_lot::Mutex;
+use fastiov_simtime::{
+    Clock, ContentionCounter, CpuPool, FairShareBandwidth, LockClass, LockSnapshot, TrackedMutex,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -125,12 +126,12 @@ pub struct AllocStats {
 pub struct PhysMemory {
     costs: MemCosts,
     page: PageSize,
-    frames: Vec<Mutex<Frame>>,
+    frames: Vec<TrackedMutex<Frame>>,
     /// Free-list shards. Shard `i` owns the contiguous frame-index range
     /// `[i * frames_per_shard, (i+1) * frames_per_shard)`, so address-ordered
     /// batching within a shard still produces contiguous runs and the
     /// fragmentation cost model (§3.2.3) is unchanged.
-    free: Vec<Mutex<FreeList>>,
+    free: Vec<TrackedMutex<FreeList>>,
     frames_per_shard: usize,
     free_lock: ContentionCounter,
     nonce: AtomicU64,
@@ -170,21 +171,27 @@ impl PhysMemory {
         let frames_per_shard = total_frames.div_ceil(shards).max(1);
         let frames = (0..total_frames)
             .map(|i| {
-                Mutex::new(Frame {
-                    owner: None,
-                    pins: 0,
-                    clean: false,
-                    content: PageContent::garbage(page.bytes(), i as u64),
-                })
+                TrackedMutex::new(
+                    LockClass::PhysFrame,
+                    Frame {
+                        owner: None,
+                        pins: 0,
+                        clean: false,
+                        content: PageContent::garbage(page.bytes(), i as u64),
+                    },
+                )
             })
             .collect();
         let free = (0..shards)
             .map(|s| {
                 let lo = s * frames_per_shard;
                 let hi = ((s + 1) * frames_per_shard).min(total_frames);
-                Mutex::new(FreeList {
-                    free: (lo..hi).collect(),
-                })
+                TrackedMutex::new(
+                    LockClass::PhysShard,
+                    FreeList {
+                        free: (lo..hi).collect(),
+                    },
+                )
             })
             .collect();
         Arc::new(PhysMemory {

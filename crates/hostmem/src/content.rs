@@ -198,7 +198,10 @@ impl PageContent {
                 continue;
             }
             // Overlapping or adjacent: merge.
-            let v = self.writes.remove(&k).unwrap();
+            let v = self
+                .writes
+                .remove(&k)
+                .expect("invariant: k was read from self.writes keys above");
             let merged_start = k.min(new_off);
             let merged_end = vend.max(new_off + new_data.len() as u64);
             let mut merged = vec![0u8; (merged_end - merged_start) as usize];

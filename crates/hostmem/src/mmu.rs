@@ -14,7 +14,7 @@
 use crate::addr::{Hpa, Hva};
 use crate::alloc::{FrameId, FrameRange, PhysMemory};
 use crate::{MemError, Result};
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -41,7 +41,7 @@ struct Region {
 pub struct AddressSpace {
     pid: u64,
     mem: Arc<PhysMemory>,
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
 }
 
 struct Inner {
@@ -55,11 +55,14 @@ impl AddressSpace {
         Arc::new(AddressSpace {
             pid,
             mem,
-            inner: Mutex::new(Inner {
-                regions: BTreeMap::new(),
-                // Arbitrary non-zero mmap base, page aligned.
-                next_hva: 0x7f00_0000_0000,
-            }),
+            inner: TrackedMutex::new(
+                LockClass::HostMmu,
+                Inner {
+                    regions: BTreeMap::new(),
+                    // Arbitrary non-zero mmap base, page aligned.
+                    next_hva: 0x7f00_0000_0000,
+                },
+            ),
         })
     }
 
@@ -134,8 +137,15 @@ impl AddressSpace {
             let mut inner = self.inner.lock();
             let mut frames = ranges.iter().flat_map(|r| r.iter());
             for (rbase, idx) in &missing {
-                let region = inner.regions.get_mut(rbase).expect("region vanished");
-                region.pages[*idx] = Some(frames.next().expect("frame count mismatch"));
+                let region = inner
+                    .regions
+                    .get_mut(rbase)
+                    .expect("invariant: missing was built from inner.regions under this lock");
+                region.pages[*idx] = Some(
+                    frames
+                        .next()
+                        .expect("invariant: alloc_frames returned missing.len() frames"),
+                );
             }
         }
         if mode == Populate::AllocZero {

@@ -4,8 +4,9 @@ use crate::iotlb::Iotlb;
 use crate::table::{IoPageTable, TableError};
 use crate::{IommuError, Result};
 use fastiov_hostmem::{FrameRange, Hpa, Iova, PageSize, PhysMemory};
-use fastiov_simtime::{Clock, ContentionCounter, LockSnapshot, Tracer};
-use parking_lot::{Mutex, RwLock};
+use fastiov_simtime::{
+    Clock, ContentionCounter, LockClass, LockSnapshot, Tracer, TrackedMutex, TrackedRwLock,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -39,8 +40,8 @@ pub struct IommuDomain {
     map_per_page: Duration,
     /// Charged per full table walk (IOTLB miss).
     walk_latency: Duration,
-    table: Mutex<IoPageTable>,
-    tlb: Mutex<Iotlb>,
+    table: TrackedMutex<IoPageTable>,
+    tlb: TrackedMutex<Iotlb>,
     /// Shared across every domain of the owning [`Iommu`]: one aggregate
     /// wait/hold ranking for "the IOMMU table locks".
     table_lock: Arc<ContentionCounter>,
@@ -194,8 +195,8 @@ pub struct Iommu {
     tlb_capacity: usize,
     table_lock: Arc<ContentionCounter>,
     /// Tracer captured by domains created after [`Iommu::set_tracer`].
-    tracer: RwLock<Option<Tracer>>,
-    inner: Mutex<IommuInner>,
+    tracer: TrackedRwLock<Option<Tracer>>,
+    inner: TrackedMutex<IommuInner>,
 }
 
 struct IommuInner {
@@ -220,11 +221,14 @@ impl Iommu {
             walk_latency,
             tlb_capacity,
             table_lock: Arc::new(ContentionCounter::new()),
-            tracer: RwLock::new(None),
-            inner: Mutex::new(IommuInner {
-                domains: HashMap::new(),
-                next_id: 1,
-            }),
+            tracer: TrackedRwLock::new(LockClass::TracerSlot, None),
+            inner: TrackedMutex::new(
+                LockClass::IommuRegistry,
+                IommuInner {
+                    domains: HashMap::new(),
+                    next_id: 1,
+                },
+            ),
         })
     }
 
@@ -251,8 +255,8 @@ impl Iommu {
             clock: self.clock.clone(),
             map_per_page: self.map_per_page,
             walk_latency: self.walk_latency,
-            table: Mutex::new(IoPageTable::new()),
-            tlb: Mutex::new(Iotlb::new(self.tlb_capacity)),
+            table: TrackedMutex::new(LockClass::IommuTable, IoPageTable::new()),
+            tlb: TrackedMutex::new(LockClass::IommuTlb, Iotlb::new(self.tlb_capacity)),
             table_lock: Arc::clone(&self.table_lock),
             tracer: self.tracer.read().clone(),
             translations: AtomicU64::new(0),

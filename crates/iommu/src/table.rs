@@ -88,7 +88,9 @@ impl IoPageTable {
             .map(|l| &mut l[i3]);
         match slot {
             Some(s) if s.is_some() => {
-                let hpa = s.take().expect("checked is_some");
+                let hpa = s
+                    .take()
+                    .expect("invariant: is_some checked by the match guard");
                 self.entries -= 1;
                 Ok(hpa)
             }
@@ -182,7 +184,7 @@ impl IoPageTable {
             let leaf = self.root[i1]
                 .as_mut()
                 .and_then(|m| m[i2].as_mut())
-                .expect("verified present");
+                .expect("invariant: presence verified by the pre-scan above");
             for k in 0..chunk {
                 leaf[i3 + k] = None;
             }

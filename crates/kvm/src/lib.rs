@@ -18,7 +18,7 @@
 use fastiov_hostmem::{AddressSpace, Gpa, Hpa, Hva, MemError, PageSize};
 use fastiov_iommu::table::IoPageTable;
 use fastiov_simtime::Clock;
-use parking_lot::{Mutex, RwLock};
+use fastiov_simtime::{LockClass, TrackedMutex, TrackedRwLock};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -93,9 +93,9 @@ pub struct Vm {
     page: PageSize,
     /// Charged per EPT violation (vm-exit + resolve + install).
     fault_latency: Duration,
-    slots: RwLock<Vec<Memslot>>,
-    ept: Mutex<IoPageTable>,
-    hook: RwLock<Option<Arc<dyn EptFaultHook>>>,
+    slots: TrackedRwLock<Vec<Memslot>>,
+    ept: TrackedMutex<IoPageTable>,
+    hook: TrackedRwLock<Option<Arc<dyn EptFaultHook>>>,
     faults: AtomicU64,
     hook_zeroed: AtomicU64,
 }
@@ -110,9 +110,9 @@ impl Vm {
             aspace,
             page,
             fault_latency,
-            slots: RwLock::new(Vec::new()),
-            ept: Mutex::new(IoPageTable::new()),
-            hook: RwLock::new(None),
+            slots: TrackedRwLock::new(LockClass::KvmVm, Vec::new()),
+            ept: TrackedMutex::new(LockClass::KvmVm, IoPageTable::new()),
+            hook: TrackedRwLock::new(LockClass::KvmVm, None),
             faults: AtomicU64::new(0),
             hook_zeroed: AtomicU64::new(0),
         })

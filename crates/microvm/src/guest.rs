@@ -14,7 +14,7 @@ use fastiov_hostmem::Gpa;
 use fastiov_kvm::Vm;
 use fastiov_nic::{AdminCmd, MacAddr, PfDriver, VfId};
 use fastiov_simtime::Clock;
-use parking_lot::{Condvar, Mutex};
+use fastiov_simtime::{LockClass, TrackedCondvar, TrackedMutex};
 use std::sync::Arc;
 
 /// Observable state of the guest network interface.
@@ -30,16 +30,16 @@ pub enum GuestNetState {
 
 /// Shared flag the agent (and waiting applications) poll.
 pub struct NetReadiness {
-    state: Mutex<GuestNetState>,
-    cv: Condvar,
+    state: TrackedMutex<GuestNetState>,
+    cv: TrackedCondvar,
 }
 
 impl NetReadiness {
     /// Creates the flag in the `Initializing` state.
     pub fn new() -> Arc<Self> {
         Arc::new(NetReadiness {
-            state: Mutex::new(GuestNetState::Initializing),
-            cv: Condvar::new(),
+            state: TrackedMutex::new(LockClass::GuestNet, GuestNetState::Initializing),
+            cv: TrackedCondvar::new(),
         })
     }
 

@@ -240,7 +240,7 @@ mod tests {
         p.virtiofs_setup_cpu = std::time::Duration::ZERO;
         p.virtiofs_lock_hold = std::time::Duration::from_millis(2000);
         let host = Host::new(p, LockPolicy::Coarse).unwrap();
-        let t0 = std::time::Instant::now();
+        let t0 = fastiov_simtime::WallStopwatch::start();
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let h = Arc::clone(&host);

@@ -7,9 +7,9 @@ use fastiov_hostmem::{AddressSpace, FrameRange, Gpa, Hva, Iova};
 use fastiov_kvm::{EptFaultHook, Memslot, Vm};
 use fastiov_nic::VfId;
 use fastiov_simtime::StageLog;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use fastiov_vfio::{DmaZeroMode, VfioContainer, VfioDeviceFd};
 use fastiov_virtio::{VirtioFs, VirtioNet};
-use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// How guest memory is zeroed for passthrough.
@@ -164,12 +164,12 @@ pub struct Microvm {
     ram_hva: Hva,
     image_hva: Hva,
     container: Option<Arc<VfioContainer>>,
-    vfio_fd: Mutex<Option<VfioDeviceFd>>,
+    vfio_fd: TrackedMutex<Option<VfioDeviceFd>>,
     vf: Option<VfId>,
     virtiofs: Arc<VirtioFs>,
     virtio_net: Option<Arc<VirtioNet>>,
     net_readiness: Option<Arc<NetReadiness>>,
-    init_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    init_thread: TrackedMutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl Microvm {
@@ -451,12 +451,12 @@ impl Microvm {
             ram_hva,
             image_hva,
             container,
-            vfio_fd: Mutex::new(vfio_fd),
+            vfio_fd: TrackedMutex::new(LockClass::MicrovmState, vfio_fd),
             vf: vf_id,
             virtiofs,
             virtio_net,
             net_readiness,
-            init_thread: Mutex::new(init_thread),
+            init_thread: TrackedMutex::new(LockClass::MicrovmState, init_thread),
         }))
     }
 

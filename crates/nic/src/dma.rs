@@ -11,8 +11,7 @@ use crate::vf::VfId;
 use crate::{NicError, Result};
 use fastiov_hostmem::{Iova, PhysMemory};
 use fastiov_iommu::IommuDomain;
-use fastiov_simtime::FairShareBandwidth;
-use parking_lot::{Condvar, Mutex};
+use fastiov_simtime::{FairShareBandwidth, LockClass, TrackedCondvar, TrackedMutex, TrackedRwLock};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,8 +43,8 @@ pub struct RxRing {
 
 struct VfAttachment {
     domain: Arc<IommuDomain>,
-    ring: Mutex<RxRing>,
-    ring_cv: Condvar,
+    ring: TrackedMutex<RxRing>,
+    ring_cv: TrackedCondvar,
 }
 
 /// The DMA engine: moves bytes between the wire and guest memory.
@@ -53,8 +52,8 @@ pub struct DmaEngine {
     mem: Arc<PhysMemory>,
     /// NIC line rate, shared across all VFs (processor-sharing).
     line: Arc<FairShareBandwidth>,
-    attachments: Mutex<HashMap<u16, Arc<VfAttachment>>>,
-    irq: parking_lot::RwLock<Option<Arc<dyn InterruptSink>>>,
+    attachments: TrackedMutex<HashMap<u16, Arc<VfAttachment>>>,
+    irq: TrackedRwLock<Option<Arc<dyn InterruptSink>>>,
     rx_packets: AtomicU64,
     rx_bytes: AtomicU64,
     faults: AtomicU64,
@@ -66,8 +65,8 @@ impl DmaEngine {
         Arc::new(DmaEngine {
             mem,
             line,
-            attachments: Mutex::new(HashMap::new()),
-            irq: parking_lot::RwLock::new(None),
+            attachments: TrackedMutex::new(LockClass::NicDma, HashMap::new()),
+            irq: TrackedRwLock::new(LockClass::NicDma, None),
             rx_packets: AtomicU64::new(0),
             rx_bytes: AtomicU64::new(0),
             faults: AtomicU64::new(0),
@@ -97,8 +96,8 @@ impl DmaEngine {
             vf.0,
             Arc::new(VfAttachment {
                 domain,
-                ring: Mutex::new(RxRing::default()),
-                ring_cv: Condvar::new(),
+                ring: TrackedMutex::new(LockClass::NicDma, RxRing::default()),
+                ring_cv: TrackedCondvar::new(),
             }),
         );
     }

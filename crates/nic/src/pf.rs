@@ -5,8 +5,8 @@ use crate::vf::{MacAddr, NetdevName, Vf, VfId};
 use crate::{vf_bdf, NicError, Result};
 use fastiov_faults::{sites, FaultPlane};
 use fastiov_pci::{DeviceClass, DriverBinding, PciBus, PciDevice, ResetCapability};
-use fastiov_simtime::{Clock, FairSemaphore, Tracer};
-use parking_lot::{Mutex, RwLock};
+use fastiov_simtime::lockdep::{self, Mode};
+use fastiov_simtime::{Clock, FairSemaphore, LockClass, Tracer, TrackedMutex, TrackedRwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -55,7 +55,10 @@ pub struct AdminQueue {
     bringup_service: Duration,
     submitted: AtomicU64,
     /// Span tracer: each submit records queueing + service as one span.
-    tracer: RwLock<Option<Tracer>>,
+    tracer: TrackedRwLock<Option<Tracer>>,
+    /// Lockdep instance id: the mailbox serializes via a semaphore, not a
+    /// mutex, so [`AdminQueue::submit`] reports to the witness manually.
+    dep_id: u64,
 }
 
 impl AdminQueue {
@@ -67,7 +70,8 @@ impl AdminQueue {
             config_service,
             bringup_service,
             submitted: AtomicU64::new(0),
-            tracer: RwLock::new(None),
+            tracer: TrackedRwLock::new(LockClass::TracerSlot, None),
+            dep_id: lockdep::new_lock_id(),
         }
     }
 
@@ -93,6 +97,9 @@ impl AdminQueue {
     /// the timeline.
     pub fn submit(&self, vf: &Vf, cmd: AdminCmd) -> AdminReply {
         let _span = self.tracer.read().as_ref().map(|t| t.span("nic.admin"));
+        // The FairSemaphore(1) is a lock in all but name; report it so
+        // ordering against real locks is witnessed.
+        let _dep = lockdep::acquire(LockClass::NicMailbox, self.dep_id, Mode::Exclusive);
         let _g = self.sem.acquire();
         self.clock.sleep(self.service_for(cmd));
         self.submitted.fetch_add(1, Ordering::Relaxed);
@@ -201,11 +208,11 @@ pub struct PfDriver {
     pf: Arc<PciDevice>,
     costs: PfCosts,
     admin: AdminQueue,
-    vfs: Mutex<Vec<Arc<Vf>>>,
+    vfs: TrackedMutex<Vec<Arc<Vf>>>,
     host_binds: AtomicU64,
     vfio_binds: AtomicU64,
     /// Fault plane consulted during VF link bring-up.
-    faults: Mutex<Arc<FaultPlane>>,
+    faults: TrackedMutex<Arc<FaultPlane>>,
 }
 
 impl PfDriver {
@@ -235,10 +242,10 @@ impl PfDriver {
             bus_no,
             pf,
             costs,
-            vfs: Mutex::new(Vec::new()),
+            vfs: TrackedMutex::new(LockClass::NicPf, Vec::new()),
             host_binds: AtomicU64::new(0),
             vfio_binds: AtomicU64::new(0),
-            faults: Mutex::new(FaultPlane::disabled()),
+            faults: TrackedMutex::new(LockClass::FaultPlane, FaultPlane::disabled()),
         }))
     }
 
@@ -395,6 +402,7 @@ impl PfDriver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fastiov_simtime::WallStopwatch;
 
     fn setup(total: u16) -> Arc<PfDriver> {
         let clock = Clock::with_scale(1e-5);
@@ -485,7 +493,7 @@ mod tests {
         )
         .unwrap();
         pf.create_vfs(8).unwrap();
-        let t0 = std::time::Instant::now();
+        let t0 = WallStopwatch::start();
         let handles: Vec<_> = (0..8u16)
             .map(|i| {
                 let pf = Arc::clone(&pf);

@@ -11,7 +11,7 @@ use crate::dma::DmaEngine;
 use crate::vf::VfId;
 use crate::{NicError, Result};
 use fastiov_hostmem::Iova;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,9 +32,16 @@ pub trait WireSink: Send + Sync {
 }
 
 /// A sink that queues frames for inspection (tests, simple servers).
-#[derive(Default)]
 pub struct FrameQueue {
-    frames: Mutex<VecDeque<Frame>>,
+    frames: TrackedMutex<VecDeque<Frame>>,
+}
+
+impl Default for FrameQueue {
+    fn default() -> Self {
+        FrameQueue {
+            frames: TrackedMutex::new(LockClass::NicTx, VecDeque::new()),
+        }
+    }
 }
 
 impl FrameQueue {
@@ -67,7 +74,7 @@ impl WireSink for FrameQueue {
 
 /// The wire between the application server and its peer.
 pub struct Wire {
-    sink: Mutex<Option<Arc<dyn WireSink>>>,
+    sink: TrackedMutex<Option<Arc<dyn WireSink>>>,
     tx_frames: AtomicU64,
     tx_bytes: AtomicU64,
 }
@@ -76,7 +83,7 @@ impl Wire {
     /// Creates a wire with no sink (frames are counted and dropped).
     pub fn new() -> Arc<Self> {
         Arc::new(Wire {
-            sink: Mutex::new(None),
+            sink: TrackedMutex::new(LockClass::NicTx, None),
             tx_frames: AtomicU64::new(0),
             tx_bytes: AtomicU64::new(0),
         })
@@ -114,7 +121,7 @@ impl Wire {
 impl Default for Wire {
     fn default() -> Self {
         Wire {
-            sink: Mutex::new(None),
+            sink: TrackedMutex::new(LockClass::NicTx, None),
             tx_frames: AtomicU64::new(0),
             tx_bytes: AtomicU64::new(0),
         }

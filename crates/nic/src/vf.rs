@@ -1,7 +1,7 @@
 //! Virtual function state and host netdev identities.
 
 use fastiov_pci::PciDevice;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::fmt;
 use std::sync::Arc;
 
@@ -62,7 +62,7 @@ pub struct VfState {
 pub struct Vf {
     id: VfId,
     pci: Arc<PciDevice>,
-    state: Mutex<VfState>,
+    state: TrackedMutex<VfState>,
 }
 
 impl Vf {
@@ -71,7 +71,7 @@ impl Vf {
         Arc::new(Vf {
             id,
             pci,
-            state: Mutex::new(VfState::default()),
+            state: TrackedMutex::new(LockClass::NicVf, VfState::default()),
         })
     }
 

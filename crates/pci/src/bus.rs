@@ -3,7 +3,7 @@
 use crate::device::{Bdf, PciDevice};
 use crate::{PciError, Result};
 use fastiov_simtime::Clock;
-use parking_lot::RwLock;
+use fastiov_simtime::{LockClass, TrackedRwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,7 +21,7 @@ pub struct PciBus {
     cfg_access: Duration,
     /// Simulated latency of a function-level reset.
     reset_latency: Duration,
-    devices: RwLock<BTreeMap<Bdf, Arc<PciDevice>>>,
+    devices: TrackedRwLock<BTreeMap<Bdf, Arc<PciDevice>>>,
 }
 
 impl PciBus {
@@ -34,7 +34,7 @@ impl PciBus {
             clock,
             cfg_access,
             reset_latency,
-            devices: RwLock::new(BTreeMap::new()),
+            devices: TrackedRwLock::new(LockClass::PciBus, BTreeMap::new()),
         })
     }
 

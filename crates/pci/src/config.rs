@@ -1,6 +1,6 @@
 //! A minimal PCI configuration space.
 
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 
 /// Number of 32-bit registers modelled (256-byte config header).
 pub const CONFIG_REGS: usize = 64;
@@ -20,14 +20,14 @@ pub mod regs {
 /// A lockable 256-byte configuration space.
 #[derive(Debug)]
 pub struct ConfigSpace {
-    regs: Mutex<[u32; CONFIG_REGS]>,
+    regs: TrackedMutex<[u32; CONFIG_REGS]>,
 }
 
 impl ConfigSpace {
     /// Creates a zeroed config space.
     pub fn new() -> Self {
         ConfigSpace {
-            regs: Mutex::new([0; CONFIG_REGS]),
+            regs: TrackedMutex::new(LockClass::PciConfig, [0; CONFIG_REGS]),
         }
     }
 

@@ -1,7 +1,7 @@
 //! PCI device identity, reset capability, driver binding.
 
 use crate::config::ConfigSpace;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -88,8 +88,8 @@ pub struct PciDevice {
     class: DeviceClass,
     reset: ResetCapability,
     config: ConfigSpace,
-    driver: Mutex<DriverBinding>,
-    sriov: Mutex<Option<SriovCap>>,
+    driver: TrackedMutex<DriverBinding>,
+    sriov: TrackedMutex<Option<SriovCap>>,
     resets: AtomicU64,
 }
 
@@ -106,11 +106,14 @@ impl PciDevice {
             class,
             reset,
             config: ConfigSpace::new(),
-            driver: Mutex::new(DriverBinding::None),
-            sriov: Mutex::new(sriov_total_vfs.map(|total_vfs| SriovCap {
-                total_vfs,
-                num_vfs: 0,
-            })),
+            driver: TrackedMutex::new(LockClass::PciDevice, DriverBinding::None),
+            sriov: TrackedMutex::new(
+                LockClass::PciDevice,
+                sriov_total_vfs.map(|total_vfs| SriovCap {
+                    total_vfs,
+                    num_vfs: 0,
+                }),
+            ),
             resets: AtomicU64::new(0),
         })
     }

@@ -6,7 +6,7 @@ use fastiov_faults::sites;
 use fastiov_microvm::{Host, Microvm, MicrovmConfig, NetworkAttachment, VmmError};
 use fastiov_nic::{AdminCmd, MacAddr, NetdevName, NicError, VfId};
 use fastiov_simtime::StageLog;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -150,7 +150,7 @@ struct Shared {
     host: Arc<Host>,
     vfs: Arc<dyn VfProvider>,
     params: PoolParams,
-    slots: Mutex<Vec<WarmVm>>,
+    slots: TrackedMutex<Vec<WarmVm>>,
     next_pid: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -281,8 +281,8 @@ fn replenisher(shared: Arc<Shared>, rx: Receiver<Cmd>) {
 /// The warm microVM pool. See the crate docs for the model.
 pub struct WarmPool {
     shared: Arc<Shared>,
-    tx: Mutex<Option<Sender<Cmd>>>,
-    thread: Mutex<Option<JoinHandle<()>>>,
+    tx: TrackedMutex<Option<Sender<Cmd>>>,
+    thread: TrackedMutex<Option<JoinHandle<()>>>,
 }
 
 impl WarmPool {
@@ -294,7 +294,7 @@ impl WarmPool {
             host,
             vfs,
             params,
-            slots: Mutex::new(Vec::new()),
+            slots: TrackedMutex::new(LockClass::PoolSlots, Vec::new()),
             next_pid: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -313,8 +313,8 @@ impl WarmPool {
         };
         Arc::new(WarmPool {
             shared,
-            tx: Mutex::new(Some(tx)),
-            thread: Mutex::new(Some(thread)),
+            tx: TrackedMutex::new(LockClass::PoolWorker, Some(tx)),
+            thread: TrackedMutex::new(LockClass::PoolWorker, Some(thread)),
         })
     }
 

@@ -18,18 +18,25 @@
 #![warn(missing_docs)]
 
 mod clock;
+pub mod lockdep;
 mod lockstat;
 mod resources;
 mod semaphore;
 mod timeline;
 mod tracer;
+mod wall;
 
 pub use clock::{Clock, SimInstant};
+pub use lockdep::{
+    LockClass, LockdepReport, TrackedCondvar, TrackedMutex, TrackedMutexGuard, TrackedReadGuard,
+    TrackedRwLock, TrackedWriteGuard,
+};
 pub use lockstat::{ContentionCounter, LockSnapshot};
 pub use resources::{BandwidthResource, CpuPool, FairShareBandwidth, ResourceStats};
 pub use semaphore::FairSemaphore;
 pub use timeline::{StageLog, StageRecord};
 pub use tracer::{Span, SpanGuard, Tracer, VmScope};
+pub use wall::WallStopwatch;
 
 use std::time::Duration;
 

@@ -1,0 +1,1066 @@
+//! A lockdep-style runtime lock-discipline witness.
+//!
+//! PR 3 left the workspace with ~170 `Mutex`/`RwLock` sites whose ordering
+//! invariants lived only in comments; two real ordering races slipped
+//! through review. This module makes the discipline machine-checked, the
+//! way Linux lockdep does: every instrumented lock belongs to a
+//! [`LockClass`], each thread keeps a stack of currently-held
+//! acquisitions, and every *exclusive* acquisition made while other locks
+//! are held records a class-level **acquired-while-held edge**. Three
+//! rules are enforced online:
+//!
+//! 1. **Cycle detection** — a new blocking edge `A → B` is rejected when
+//!    `B` can already reach `A` through blocking edges: a potential
+//!    deadlock, reported with the witness acquisition sites of both the
+//!    forward edge and the first edge of the return path (à la lockdep's
+//!    two-stack report).
+//! 2. **Hierarchy violations** — classes may declare a (domain, level);
+//!    acquiring a lower level while a deeper one is held in the same
+//!    domain is a child-before-parent inversion (e.g. taking the devset
+//!    parent rwlock while a per-device child mutex is held).
+//! 3. **Peer exclusion** — classes may declare `exclusive_peers`; holding
+//!    two *different instances* of such a class at once (e.g. two
+//!    `fastiovd` tier-1 shards, two physical free-list shards) violates
+//!    the sharding discipline regardless of mode.
+//!
+//! Shared (read) acquisitions are recorded in the graph for reporting but
+//! do not participate in cycle detection: two readers never block each
+//! other, and flagging read-side cycles would condemn the legitimate
+//! `child → members(read)` / `members(read) → child` pattern in the
+//! devset reset path. This matches pre-2020 kernel lockdep's treatment of
+//! recursive reads and is a documented limitation (a reader parked behind
+//! a queued writer can still deadlock; the static pass plus the hierarchy
+//! rules cover the instances of that shape we actually have).
+//!
+//! The witness is **disabled by default** and costs exactly one relaxed
+//! atomic load per acquisition in that state. It is enabled in tests and
+//! by `fastiovctl lockdep`, either explicitly ([`enable`]) or via the
+//! `FASTIOV_LOCKDEP=1` environment variable (checked once, on first use).
+
+use parking_lot::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The class of an instrumented lock. One class per *role*, not per
+/// instance: all per-device child mutexes share [`LockClass::DevsetChild`],
+/// all tier-1 fastiovd shards share [`LockClass::FastiovdShard`], and so
+/// on. The acquired-while-held graph is built over classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)] // Names mirror the lock they label; see DESIGN.md §7.5.
+pub enum LockClass {
+    /// Devset parent rwlock (or the coarse mutex standing in for it).
+    DevsetParent,
+    /// Per-device child mutex inside a devset.
+    DevsetChild,
+    /// Devset global (parent-mode) state mutex.
+    DevsetState,
+    /// DevsetManager registries (devsets/devices/groups maps).
+    DevsetRegistry,
+    /// Devset membership list (`DevSet::devices`).
+    DevsetMembers,
+    /// VFIO container DMA-mapping list.
+    VfioContainer,
+    /// VFIO group attachment slot.
+    VfioGroup,
+    /// fastiovd tier-1 shard (`pid % N`).
+    FastiovdShard,
+    /// fastiovd tier-2 per-VM page table.
+    FastiovdVmTable,
+    /// IOMMU domain registry.
+    IommuRegistry,
+    /// IOMMU domain I/O page table.
+    IommuTable,
+    /// IOMMU domain IOTLB.
+    IommuTlb,
+    /// Physical free-list shard.
+    PhysShard,
+    /// Per-frame metadata mutex.
+    PhysFrame,
+    /// Host MMU region table.
+    HostMmu,
+    /// Warm-pool slot list.
+    PoolSlots,
+    /// Warm-pool worker channel/handle slots.
+    PoolWorker,
+    /// NIC PF admin mailbox (strictly serialized command channel).
+    NicMailbox,
+    /// PF driver registries (VF list, fault-plane slot).
+    NicPf,
+    /// NIC DMA engine state (rings, attachments, irq sink).
+    NicDma,
+    /// NIC TX queue / wire sink.
+    NicTx,
+    /// Per-VF configuration state.
+    NicVf,
+    /// KVM VM state (memslots, EPT, fault hook).
+    KvmVm,
+    /// PCI bus device map.
+    PciBus,
+    /// Per-PCI-device state (driver binding, SR-IOV cap).
+    PciDevice,
+    /// PCI config space registers.
+    PciConfig,
+    /// CNI registries (namespaces, device plugin, VF pool).
+    CniRegistry,
+    /// Per-network-namespace state.
+    CniNns,
+    /// MicroVM per-instance state (vfio fd, init thread).
+    MicrovmState,
+    /// Guest network readiness flag.
+    GuestNet,
+    /// virtio-fs / virtio-net shared state.
+    Virtio,
+    /// Fault-plane counters and installed-plane slots.
+    FaultPlane,
+    /// Tracer installation slots (`RwLock<Option<Tracer>>`).
+    TracerSlot,
+    /// Cgroup registry.
+    CgroupRegistry,
+    /// Application object storage.
+    AppStorage,
+    /// Example code (`examples/`).
+    Example,
+    /// Ad-hoc locks in test fixtures.
+    Test,
+}
+
+/// Number of lock classes (adjacency matrices are `NCLASS × NCLASS`).
+const NCLASS: usize = LockClass::Test as usize + 1;
+
+/// Lock-ordering domains for the hierarchy rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Domain {
+    Devset,
+    Fastiovd,
+    Iommu,
+    Hostmem,
+}
+
+impl LockClass {
+    fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable display name (also the DOT/JSON node label).
+    pub fn name(self) -> &'static str {
+        match self {
+            LockClass::DevsetParent => "devset-parent",
+            LockClass::DevsetChild => "devset-child",
+            LockClass::DevsetState => "devset-state",
+            LockClass::DevsetRegistry => "devset-registry",
+            LockClass::DevsetMembers => "devset-members",
+            LockClass::VfioContainer => "vfio-container",
+            LockClass::VfioGroup => "vfio-group",
+            LockClass::FastiovdShard => "fastiovd-shard",
+            LockClass::FastiovdVmTable => "fastiovd-vm-table",
+            LockClass::IommuRegistry => "iommu-registry",
+            LockClass::IommuTable => "iommu-table",
+            LockClass::IommuTlb => "iommu-tlb",
+            LockClass::PhysShard => "phys-shard",
+            LockClass::PhysFrame => "phys-frame",
+            LockClass::HostMmu => "host-mmu",
+            LockClass::PoolSlots => "pool-slots",
+            LockClass::PoolWorker => "pool-worker",
+            LockClass::NicMailbox => "nic-mailbox",
+            LockClass::NicPf => "nic-pf",
+            LockClass::NicDma => "nic-dma",
+            LockClass::NicTx => "nic-tx",
+            LockClass::NicVf => "nic-vf",
+            LockClass::KvmVm => "kvm-vm",
+            LockClass::PciBus => "pci-bus",
+            LockClass::PciDevice => "pci-device",
+            LockClass::PciConfig => "pci-config",
+            LockClass::CniRegistry => "cni-registry",
+            LockClass::CniNns => "cni-nns",
+            LockClass::MicrovmState => "microvm-state",
+            LockClass::GuestNet => "guest-net",
+            LockClass::Virtio => "virtio",
+            LockClass::FaultPlane => "fault-plane",
+            LockClass::TracerSlot => "tracer-slot",
+            LockClass::CgroupRegistry => "cgroup-registry",
+            LockClass::AppStorage => "app-storage",
+            LockClass::Example => "example",
+            LockClass::Test => "test",
+        }
+    }
+
+    /// Hierarchy position: `(domain, level)`. Acquiring a *lower* level
+    /// while a deeper level of the same domain is held is a
+    /// child-before-parent inversion.
+    fn hierarchy(self) -> Option<(Domain, u8)> {
+        match self {
+            LockClass::DevsetParent => Some((Domain::Devset, 0)),
+            LockClass::DevsetChild => Some((Domain::Devset, 1)),
+            LockClass::DevsetState => Some((Domain::Devset, 1)),
+            LockClass::FastiovdShard => Some((Domain::Fastiovd, 0)),
+            LockClass::FastiovdVmTable => Some((Domain::Fastiovd, 1)),
+            LockClass::IommuTable => Some((Domain::Iommu, 0)),
+            LockClass::IommuTlb => Some((Domain::Iommu, 1)),
+            LockClass::PhysShard => Some((Domain::Hostmem, 0)),
+            LockClass::PhysFrame => Some((Domain::Hostmem, 1)),
+            _ => None,
+        }
+    }
+
+    /// Sharded classes whose instances must never be held concurrently:
+    /// shard isolation is the whole point of the sharding, and the
+    /// work-stealing/ sweep paths are written to take shards one at a
+    /// time.
+    fn exclusive_peers(self) -> bool {
+        matches!(self, LockClass::FastiovdShard | LockClass::PhysShard)
+    }
+}
+
+impl fmt::Display for LockClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Acquisition mode. Shared acquisitions never block one another, so
+/// they contribute reporting edges but not cycle-detection edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Mutex lock or rwlock write.
+    Exclusive,
+    /// Rwlock read.
+    Shared,
+}
+
+/// What a report is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportKind {
+    /// A blocking-edge cycle in the class graph.
+    PotentialDeadlock,
+    /// Child-before-parent acquisition within a hierarchy domain.
+    HierarchyViolation,
+    /// Two instances of an `exclusive_peers` class held at once.
+    CrossInstance,
+}
+
+impl fmt::Display for ReportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReportKind::PotentialDeadlock => "potential-deadlock",
+            ReportKind::HierarchyViolation => "hierarchy-violation",
+            ReportKind::CrossInstance => "cross-instance",
+        })
+    }
+}
+
+/// One witness report. `held_site`/`acquire_site` are the two
+/// acquisition sites (file:line) that together exhibit the violation —
+/// the lock already held and the offending new acquisition.
+#[derive(Debug, Clone)]
+pub struct LockdepReport {
+    /// Violation kind.
+    pub kind: ReportKind,
+    /// Class of the already-held lock.
+    pub held_class: LockClass,
+    /// Class of the lock being acquired.
+    pub acquired_class: LockClass,
+    /// Where the held lock was acquired.
+    pub held_site: String,
+    /// Where the offending acquisition happened.
+    pub acquire_site: String,
+    /// Human-readable rule text (cycle path, hierarchy levels, …).
+    pub detail: String,
+}
+
+impl fmt::Display for LockdepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] holding {} (acquired at {}) while acquiring {} at {}: {}",
+            self.kind,
+            self.held_class,
+            self.held_site,
+            self.acquired_class,
+            self.acquire_site,
+            self.detail
+        )
+    }
+}
+
+/// A recorded acquired-while-held edge (first witness kept).
+#[derive(Debug, Clone)]
+struct EdgeInfo {
+    count: u64,
+    blocking: bool,
+    holder_site: &'static Location<'static>,
+    acquire_site: &'static Location<'static>,
+}
+
+struct Graph {
+    /// `(held_class, acquired_class)` → first witness + count.
+    edges: HashMap<(usize, usize), EdgeInfo>,
+    /// Blocking-edge adjacency for cycle detection.
+    adj: [[bool; NCLASS]; NCLASS],
+}
+
+impl Graph {
+    fn new() -> Self {
+        Graph {
+            edges: HashMap::new(),
+            adj: [[false; NCLASS]; NCLASS],
+        }
+    }
+
+    /// Is `to` reachable from `from` over blocking edges?
+    fn reaches(&self, from: usize, to: usize) -> bool {
+        let mut seen = [false; NCLASS];
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            for (m, &edge) in self.adj[n].iter().enumerate() {
+                if edge && !seen[m] {
+                    stack.push(m);
+                }
+            }
+        }
+        false
+    }
+
+    /// One blocking path `from → … → to` as class names, for report text.
+    fn path(&self, from: usize, to: usize) -> Vec<usize> {
+        let mut prev = [usize::MAX; NCLASS];
+        let mut stack = vec![from];
+        let mut seen = [false; NCLASS];
+        seen[from] = true;
+        while let Some(n) = stack.pop() {
+            if n == to {
+                break;
+            }
+            for (m, &edge) in self.adj[n].iter().enumerate() {
+                if edge && !seen[m] {
+                    seen[m] = true;
+                    prev[m] = n;
+                    stack.push(m);
+                }
+            }
+        }
+        let mut path = vec![to];
+        let mut cur = to;
+        while prev[cur] != usize::MAX && prev[cur] != from {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        if cur != from {
+            path.push(from);
+        }
+        path.reverse();
+        path
+    }
+}
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static NEXT_LOCK_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_ACQ_ID: AtomicU64 = AtomicU64::new(1);
+static GRAPH: std::sync::LazyLock<Mutex<Graph>> =
+    std::sync::LazyLock::new(|| Mutex::new(Graph::new()));
+static REPORTS: Mutex<Vec<LockdepReport>> = Mutex::new(Vec::new());
+
+std::thread_local! {
+    static HELD: RefCell<Vec<HeldEntry>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Clone, Copy)]
+struct HeldEntry {
+    class: LockClass,
+    instance: u64,
+    #[allow(dead_code)] // Kept for future read/write cycle semantics.
+    mode: Mode,
+    site: &'static Location<'static>,
+    acq_id: u64,
+}
+
+/// Enables the witness for the whole process.
+pub fn enable() {
+    STATE.store(STATE_ON, Ordering::SeqCst);
+}
+
+/// Disables the witness (acquisitions go back to one atomic load).
+pub fn disable() {
+    STATE.store(STATE_OFF, Ordering::SeqCst);
+}
+
+/// Whether the witness is recording. The first call resolves the
+/// `FASTIOV_LOCKDEP` environment variable; after that this is a single
+/// relaxed atomic load.
+#[inline]
+pub fn is_enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("FASTIOV_LOCKDEP").is_ok_and(|v| v == "1" || v == "true");
+    let state = if on { STATE_ON } else { STATE_OFF };
+    // A racing enable()/disable() wins over env resolution.
+    let _ = STATE.compare_exchange(STATE_UNINIT, state, Ordering::SeqCst, Ordering::SeqCst);
+    STATE.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// Clears the graph and the report list (tests; the held stacks are
+/// per-thread and drain naturally as guards drop).
+pub fn reset() {
+    let mut g = GRAPH.lock();
+    g.edges.clear();
+    g.adj = [[false; NCLASS]; NCLASS];
+    drop(g);
+    REPORTS.lock().clear();
+}
+
+/// Allocates a process-unique instance id for an instrumented lock.
+pub fn new_lock_id() -> u64 {
+    NEXT_LOCK_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Snapshot of all reports so far.
+pub fn reports() -> Vec<LockdepReport> {
+    REPORTS.lock().clone()
+}
+
+fn push_report(report: LockdepReport) {
+    let mut reports = REPORTS.lock();
+    // Dedupe on (kind, class pair): one witness per rule violation keeps
+    // a 200-way wave's report readable.
+    if reports.iter().any(|r| {
+        r.kind == report.kind
+            && r.held_class == report.held_class
+            && r.acquired_class == report.acquired_class
+    }) {
+        return;
+    }
+    reports.push(report);
+}
+
+fn site_str(loc: &'static Location<'static>) -> String {
+    format!("{}:{}", loc.file(), loc.line())
+}
+
+/// Records an acquisition of `class`/`instance` in `mode` at the caller's
+/// source location. Returns a token that must live for the duration of
+/// the hold; dropping it pops the per-thread held stack. Returns `None`
+/// (and does nothing) while the witness is disabled.
+#[track_caller]
+#[inline]
+pub fn acquire(class: LockClass, instance: u64, mode: Mode) -> Option<HeldToken> {
+    if !is_enabled() {
+        return None;
+    }
+    Some(acquire_slow(class, instance, mode, Location::caller()))
+}
+
+fn acquire_slow(
+    class: LockClass,
+    instance: u64,
+    mode: Mode,
+    site: &'static Location<'static>,
+) -> HeldToken {
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        check_rules(&held, class, instance, site);
+        record_edges(&held, class, mode, site);
+        let acq_id = NEXT_ACQ_ID.fetch_add(1, Ordering::Relaxed);
+        held.push(HeldEntry {
+            class,
+            instance,
+            mode,
+            site,
+            acq_id,
+        });
+        HeldToken {
+            acq_id,
+            _not_send: std::marker::PhantomData,
+        }
+    })
+}
+
+/// Hierarchy and peer-exclusion checks against the current held stack.
+fn check_rules(held: &[HeldEntry], class: LockClass, instance: u64, site: &'static Location) {
+    for h in held {
+        if h.class.exclusive_peers() && h.class == class && h.instance != instance {
+            push_report(LockdepReport {
+                kind: ReportKind::CrossInstance,
+                held_class: h.class,
+                acquired_class: class,
+                held_site: site_str(h.site),
+                acquire_site: site_str(site),
+                detail: format!(
+                    "two {} instances held at once (instances #{} and #{}); \
+                     shards must be taken one at a time",
+                    class, h.instance, instance
+                ),
+            });
+        }
+        if let (Some((hd, hl)), Some((nd, nl))) = (h.class.hierarchy(), class.hierarchy()) {
+            if hd == nd && nl < hl {
+                push_report(LockdepReport {
+                    kind: ReportKind::HierarchyViolation,
+                    held_class: h.class,
+                    acquired_class: class,
+                    held_site: site_str(h.site),
+                    acquire_site: site_str(site),
+                    detail: format!(
+                        "{} is level {} of its domain but level-{} {} is already held \
+                         (child-before-parent inversion)",
+                        class, nl, hl, h.class
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Adds acquired-while-held edges and runs cycle detection on new
+/// blocking edges.
+fn record_edges(held: &[HeldEntry], class: LockClass, mode: Mode, site: &'static Location) {
+    if held.is_empty() {
+        return;
+    }
+    let blocking = mode == Mode::Exclusive;
+    let to = class.index();
+    let mut graph = GRAPH.lock();
+    for h in held {
+        let from = h.class.index();
+        if from == to {
+            // Same-class nesting (e.g. parent state under the parent
+            // rwlock wrapper, per-frame sequences) carries no class-level
+            // ordering information.
+            continue;
+        }
+        let entry = graph.edges.entry((from, to));
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().count += 1;
+                if blocking && !e.get().blocking {
+                    e.get_mut().blocking = true;
+                } else {
+                    continue;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(EdgeInfo {
+                    count: 1,
+                    blocking,
+                    holder_site: h.site,
+                    acquire_site: site,
+                });
+            }
+        }
+        if !blocking {
+            continue;
+        }
+        // New blocking edge from → to: a path to → … → from means a cycle.
+        if graph.reaches(to, from) {
+            let path = graph.path(to, from);
+            let back_witness = path
+                .windows(2)
+                .next()
+                .and_then(|w| graph.edges.get(&(w[0], w[1])))
+                .map(|e| {
+                    format!(
+                        " (return edge held at {}, acquired at {})",
+                        site_str(e.holder_site),
+                        site_str(e.acquire_site)
+                    )
+                })
+                .unwrap_or_default();
+            let cycle: Vec<&str> = std::iter::once(h.class.name())
+                .chain(path.iter().map(|&i| class_by_index(i).name()))
+                .collect();
+            push_report(LockdepReport {
+                kind: ReportKind::PotentialDeadlock,
+                held_class: h.class,
+                acquired_class: class,
+                held_site: site_str(h.site),
+                acquire_site: site_str(site),
+                detail: format!("lock-order cycle {}{}", cycle.join(" -> "), back_witness),
+            });
+        }
+        graph.adj[from][to] = true;
+    }
+}
+
+fn class_by_index(i: usize) -> LockClass {
+    // Safe by construction: indices come from LockClass::index().
+    ALL_CLASSES[i]
+}
+
+const ALL_CLASSES: [LockClass; NCLASS] = [
+    LockClass::DevsetParent,
+    LockClass::DevsetChild,
+    LockClass::DevsetState,
+    LockClass::DevsetRegistry,
+    LockClass::DevsetMembers,
+    LockClass::VfioContainer,
+    LockClass::VfioGroup,
+    LockClass::FastiovdShard,
+    LockClass::FastiovdVmTable,
+    LockClass::IommuRegistry,
+    LockClass::IommuTable,
+    LockClass::IommuTlb,
+    LockClass::PhysShard,
+    LockClass::PhysFrame,
+    LockClass::HostMmu,
+    LockClass::PoolSlots,
+    LockClass::PoolWorker,
+    LockClass::NicMailbox,
+    LockClass::NicPf,
+    LockClass::NicDma,
+    LockClass::NicTx,
+    LockClass::NicVf,
+    LockClass::KvmVm,
+    LockClass::PciBus,
+    LockClass::PciDevice,
+    LockClass::PciConfig,
+    LockClass::CniRegistry,
+    LockClass::CniNns,
+    LockClass::MicrovmState,
+    LockClass::GuestNet,
+    LockClass::Virtio,
+    LockClass::FaultPlane,
+    LockClass::TracerSlot,
+    LockClass::CgroupRegistry,
+    LockClass::AppStorage,
+    LockClass::Example,
+    LockClass::Test,
+];
+
+/// RAII token marking one acquisition on the current thread's held stack.
+/// Must be dropped on the acquiring thread (it is `!Send`); guards of the
+/// instrumented wrappers carry it automatically.
+pub struct HeldToken {
+    acq_id: u64,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for HeldToken {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Guards may drop out of LIFO order; search from the top.
+            if let Some(pos) = held.iter().rposition(|h| h.acq_id == self.acq_id) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// DOT rendering of the acquired-while-held class graph. Blocking edges
+/// are solid, shared-acquisition edges dashed; labels carry counts.
+pub fn graph_dot() -> String {
+    let graph = GRAPH.lock();
+    let mut out = String::from("digraph lockdep {\n  rankdir=LR;\n  node [shape=box];\n");
+    let mut edges: Vec<(&(usize, usize), &EdgeInfo)> = graph.edges.iter().collect();
+    edges.sort_by_key(|(k, _)| **k);
+    for (&(from, to), info) in edges {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [label=\"{}\"{}];\n",
+            class_by_index(from).name(),
+            class_by_index(to).name(),
+            info.count,
+            if info.blocking { "" } else { ", style=dashed" }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// JSON rendering of the graph plus all reports (machine-readable export
+/// of `fastiovctl lockdep`).
+pub fn graph_json() -> String {
+    let graph = GRAPH.lock();
+    let mut edges: Vec<(&(usize, usize), &EdgeInfo)> = graph.edges.iter().collect();
+    edges.sort_by_key(|(k, _)| **k);
+    let mut out = String::from("{\n  \"edges\": [\n");
+    for (i, (&(from, to), info)) in edges.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"from\": \"{}\", \"to\": \"{}\", \"count\": {}, \"blocking\": {}, \
+             \"holder_site\": \"{}\", \"acquire_site\": \"{}\"}}{}\n",
+            class_by_index(from).name(),
+            class_by_index(to).name(),
+            info.count,
+            info.blocking,
+            site_str(info.holder_site),
+            site_str(info.acquire_site),
+            if i + 1 == edges.len() { "" } else { "," }
+        ));
+    }
+    drop(graph);
+    out.push_str("  ],\n  \"reports\": [\n");
+    let reports = reports();
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"held_class\": \"{}\", \"acquired_class\": \"{}\", \
+             \"held_site\": \"{}\", \"acquire_site\": \"{}\"}}{}\n",
+            r.kind,
+            r.held_class,
+            r.acquired_class,
+            r.held_site,
+            r.acquire_site,
+            if i + 1 == reports.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A mutex that declares a [`LockClass`] and reports every acquisition to
+/// the witness. Drop-in for the `parking_lot` shim's `Mutex` at every
+/// call site that only uses `lock()`.
+pub struct TrackedMutex<T: ?Sized> {
+    class: LockClass,
+    id: u64,
+    inner: Mutex<T>,
+}
+
+/// Guard of [`TrackedMutex::lock`].
+pub struct TrackedMutexGuard<'a, T: ?Sized> {
+    // Declared before `inner` so the held-stack pop happens while the
+    // lock is still held (drop order is declaration order) — a release
+    // interleaving the other way could let a sibling acquisition observe
+    // a stale "held" entry that the OS lock has already released.
+    _dep: Option<HeldToken>,
+    inner: MutexGuard<'a, T>,
+}
+
+impl<T> TrackedMutex<T> {
+    /// Wraps `value` in an instrumented mutex of the given class.
+    pub fn new(class: LockClass, value: T) -> Self {
+        TrackedMutex {
+            class,
+            id: new_lock_id(),
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> TrackedMutex<T> {
+    /// Acquires the lock, recording the acquisition when the witness is
+    /// enabled (one atomic load otherwise).
+    #[track_caller]
+    pub fn lock(&self) -> TrackedMutexGuard<'_, T> {
+        let dep = acquire(self.class, self.id, Mode::Exclusive);
+        TrackedMutexGuard {
+            _dep: dep,
+            inner: self.inner.lock(),
+        }
+    }
+
+    /// The class this lock was declared with.
+    pub fn class(&self) -> LockClass {
+        self.class
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for TrackedMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrackedMutex")
+            .field("class", &self.class.name())
+            .field("data", &&self.inner)
+            .finish()
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A rwlock that declares a [`LockClass`]; see [`TrackedMutex`].
+pub struct TrackedRwLock<T: ?Sized> {
+    class: LockClass,
+    id: u64,
+    inner: RwLock<T>,
+}
+
+/// Guard of [`TrackedRwLock::read`].
+pub struct TrackedReadGuard<'a, T: ?Sized> {
+    _dep: Option<HeldToken>,
+    inner: RwLockReadGuard<'a, T>,
+}
+
+/// Guard of [`TrackedRwLock::write`].
+pub struct TrackedWriteGuard<'a, T: ?Sized> {
+    _dep: Option<HeldToken>,
+    inner: RwLockWriteGuard<'a, T>,
+}
+
+impl<T> TrackedRwLock<T> {
+    /// Wraps `value` in an instrumented rwlock of the given class.
+    pub fn new(class: LockClass, value: T) -> Self {
+        TrackedRwLock {
+            class,
+            id: new_lock_id(),
+            inner: RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> TrackedRwLock<T> {
+    /// Shared acquisition (recorded as a non-blocking edge).
+    #[track_caller]
+    pub fn read(&self) -> TrackedReadGuard<'_, T> {
+        let dep = acquire(self.class, self.id, Mode::Shared);
+        TrackedReadGuard {
+            _dep: dep,
+            inner: self.inner.read(),
+        }
+    }
+
+    /// Exclusive acquisition.
+    #[track_caller]
+    pub fn write(&self) -> TrackedWriteGuard<'_, T> {
+        let dep = acquire(self.class, self.id, Mode::Exclusive);
+        TrackedWriteGuard {
+            _dep: dep,
+            inner: self.inner.write(),
+        }
+    }
+
+    /// The class this lock was declared with.
+    pub fn class(&self) -> LockClass {
+        self.class
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for TrackedRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrackedRwLock")
+            .field("class", &self.class.name())
+            .field("data", &&self.inner)
+            .finish()
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> Deref for TrackedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for TrackedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// Condition variable paired with [`TrackedMutex`]. The held-stack entry
+/// is deliberately kept across `wait` (the thread acquires nothing while
+/// parked, so no false edges can form), matching how lockdep treats
+/// condvar sleeps.
+pub struct TrackedCondvar {
+    inner: Condvar,
+}
+
+impl TrackedCondvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        TrackedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, releasing the mutex while parked.
+    pub fn wait<T>(&self, guard: &mut TrackedMutexGuard<'_, T>) {
+        self.inner.wait(&mut guard.inner);
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for TrackedCondvar {
+    fn default() -> Self {
+        TrackedCondvar::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global witness state is process-wide; serialize the tests that
+    /// reset and inspect it.
+    static TEST_GATE: Mutex<()> = Mutex::new(());
+
+    fn fresh() -> MutexGuard<'static, ()> {
+        let g = TEST_GATE.lock();
+        enable();
+        reset();
+        g
+    }
+
+    #[test]
+    fn disabled_witness_records_nothing() {
+        let _g = TEST_GATE.lock();
+        disable();
+        reset();
+        let a = TrackedMutex::new(LockClass::Test, 0u32);
+        let b = TrackedMutex::new(LockClass::PoolSlots, 0u32);
+        let _ga = a.lock();
+        let _gb = b.lock();
+        drop((_ga, _gb));
+        assert!(reports().is_empty());
+        assert_eq!(
+            graph_dot(),
+            "digraph lockdep {\n  rankdir=LR;\n  node [shape=box];\n}\n"
+        );
+        enable();
+    }
+
+    #[test]
+    fn cycle_between_two_classes_reported() {
+        let _g = fresh();
+        let a = TrackedMutex::new(LockClass::PoolSlots, ());
+        let b = TrackedMutex::new(LockClass::CgroupRegistry, ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        assert!(reports().is_empty(), "one order alone is fine");
+        {
+            let _gb = b.lock();
+            let _ga = a.lock();
+        }
+        let r = reports();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert_eq!(r[0].kind, ReportKind::PotentialDeadlock);
+        assert!(r[0].held_site.contains("lockdep.rs"));
+        assert!(r[0].acquire_site.contains("lockdep.rs"));
+        assert!(r[0].detail.contains("cgroup-registry -> pool-slots"));
+    }
+
+    #[test]
+    fn hierarchy_inversion_reported() {
+        let _g = fresh();
+        let parent = TrackedRwLock::new(LockClass::DevsetParent, ());
+        let child = TrackedMutex::new(LockClass::DevsetChild, ());
+        {
+            // Correct order first: parent (read) then child.
+            let _p = parent.read();
+            let _c = child.lock();
+        }
+        assert!(reports().is_empty());
+        {
+            let _c = child.lock();
+            let _p = parent.write();
+        }
+        let r = reports();
+        assert!(
+            r.iter().any(|r| r.kind == ReportKind::HierarchyViolation),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn cross_instance_shard_hold_reported() {
+        let _g = fresh();
+        let s0 = TrackedRwLock::new(LockClass::FastiovdShard, ());
+        let s1 = TrackedRwLock::new(LockClass::FastiovdShard, ());
+        {
+            let _a = s0.read();
+            let _b = s1.read();
+        }
+        let r = reports();
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert_eq!(r[0].kind, ReportKind::CrossInstance);
+    }
+
+    #[test]
+    fn shared_read_cycle_is_not_a_deadlock() {
+        let _g = fresh();
+        // child(x) then members(read); members(read) then child(x) —
+        // the devset open/reset pattern. Readers don't block readers, so
+        // no report.
+        let child = TrackedMutex::new(LockClass::DevsetChild, ());
+        let members = TrackedRwLock::new(LockClass::DevsetMembers, ());
+        {
+            let _c = child.lock();
+            let _m = members.read();
+        }
+        {
+            let _m = members.read();
+            let _c = child.lock();
+        }
+        let r = reports();
+        assert!(r.is_empty(), "{r:?}");
+    }
+
+    #[test]
+    fn graph_exports_name_sites() {
+        let _g = fresh();
+        let a = TrackedMutex::new(LockClass::IommuTable, ());
+        let b = TrackedMutex::new(LockClass::IommuTlb, ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let dot = graph_dot();
+        assert!(dot.contains("\"iommu-table\" -> \"iommu-tlb\""), "{dot}");
+        let json = graph_json();
+        assert!(json.contains("\"from\": \"iommu-table\""), "{json}");
+        assert!(json.contains("lockdep.rs"), "{json}");
+    }
+
+    #[test]
+    fn out_of_order_guard_drop_keeps_stack_consistent() {
+        let _g = fresh();
+        let a = TrackedMutex::new(LockClass::Test, ());
+        let b = TrackedMutex::new(LockClass::AppStorage, ());
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(ga); // non-LIFO
+        drop(gb);
+        HELD.with(|h| assert!(h.borrow().is_empty()));
+    }
+}

@@ -15,7 +15,7 @@ use fastiov_faults::{sites, FaultPlane};
 use fastiov_hostmem::{AddressSpace, FrameRange, Hva, Iova, Populate};
 use fastiov_iommu::IommuDomain;
 use fastiov_simtime::Clock;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::sync::Arc;
 
 /// Zeroing discipline for a DMA mapping.
@@ -52,7 +52,7 @@ pub struct DmaMapping {
 pub struct VfioContainer {
     domain: Arc<IommuDomain>,
     aspace: Arc<AddressSpace>,
-    mappings: Mutex<Vec<DmaMapping>>,
+    mappings: TrackedMutex<Vec<DmaMapping>>,
     /// Fault plane consulted on the pin and map steps, with the clock
     /// latency spikes are charged to.
     faults: Option<(Arc<FaultPlane>, Clock)>,
@@ -65,7 +65,7 @@ impl VfioContainer {
         Arc::new(VfioContainer {
             domain,
             aspace,
-            mappings: Mutex::new(Vec::new()),
+            mappings: TrackedMutex::new(LockClass::VfioContainer, Vec::new()),
             faults: None,
         })
     }
@@ -80,7 +80,7 @@ impl VfioContainer {
         Arc::new(VfioContainer {
             domain,
             aspace,
-            mappings: Mutex::new(Vec::new()),
+            mappings: TrackedMutex::new(LockClass::VfioContainer, Vec::new()),
             faults: plane.is_enabled().then_some((plane, clock)),
         })
     }

@@ -12,7 +12,7 @@ use crate::locking::{ChildLock, LockPolicy, ParentChildLock};
 use crate::{Result, VfioError};
 use fastiov_faults::{sites, FaultPlane};
 use fastiov_pci::{Bdf, DriverBinding, PciBus, PciDevice, ResetCapability};
-use parking_lot::{Mutex, RwLock};
+use fastiov_simtime::{LockClass, TrackedMutex, TrackedRwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
@@ -61,7 +61,9 @@ impl VfioDevice {
 
     /// The devset this device belongs to.
     pub fn devset(&self) -> Arc<DevSet> {
-        self.devset.upgrade().expect("devset outlives devices")
+        self.devset
+            .upgrade()
+            .expect("invariant: the manager keeps devsets alive while devices exist")
     }
 
     /// Current open count (diagnostic; takes the child lock).
@@ -74,7 +76,7 @@ impl VfioDevice {
 pub struct DevSet {
     key: DevsetKey,
     lock: ParentChildLock<DevsetState>,
-    devices: RwLock<Vec<Arc<VfioDevice>>>,
+    devices: TrackedRwLock<Vec<Arc<VfioDevice>>>,
     bus: Arc<PciBus>,
     /// Devset bookkeeping charged inside the lock on every open, on top of
     /// the PCI bus scan.
@@ -158,10 +160,10 @@ impl DevSet {
                     members
                         .iter()
                         .filter(|m| m.bdf() != dev.bdf())
-                        // SAFETY-equivalent note: the parent lock excludes
-                        // all child operations, so direct child-state
+                        // The parent-mode witness proves all child
+                        // operations are excluded, so direct child-state
                         // access cannot race (see ChildLock::lock_direct).
-                        .map(|m| m.state.lock_direct().open_count)
+                        .map(|m| m.state.lock_direct(parent.witness()).open_count)
                         .sum()
                 };
                 if others_open > 0 {
@@ -225,18 +227,18 @@ pub struct DevsetManager {
     policy: LockPolicy,
     bus: Arc<PciBus>,
     open_overhead: Duration,
-    devsets: Mutex<HashMap<DevsetKey, Arc<DevSet>>>,
-    devices: Mutex<HashMap<Bdf, Arc<VfioDevice>>>,
-    groups: Mutex<HashMap<Bdf, Arc<VfioGroup>>>,
+    devsets: TrackedMutex<HashMap<DevsetKey, Arc<DevSet>>>,
+    devices: TrackedMutex<HashMap<Bdf, Arc<VfioDevice>>>,
+    groups: TrackedMutex<HashMap<Bdf, Arc<VfioGroup>>>,
     next_group: AtomicU64,
     opens: AtomicU64,
     resets: AtomicU64,
     busy: AtomicU64,
     /// Fault plane consulted on the ioctl paths. Groups capture the plane
     /// installed at their registration time.
-    faults: Mutex<Arc<FaultPlane>>,
+    faults: TrackedMutex<Arc<FaultPlane>>,
     /// Span tracer for the open path; installed at host construction.
-    tracer: RwLock<Option<fastiov_simtime::Tracer>>,
+    tracer: TrackedRwLock<Option<fastiov_simtime::Tracer>>,
 }
 
 impl DevsetManager {
@@ -249,15 +251,15 @@ impl DevsetManager {
             policy,
             bus,
             open_overhead,
-            devsets: Mutex::new(HashMap::new()),
-            devices: Mutex::new(HashMap::new()),
-            groups: Mutex::new(HashMap::new()),
+            devsets: TrackedMutex::new(LockClass::DevsetRegistry, HashMap::new()),
+            devices: TrackedMutex::new(LockClass::DevsetRegistry, HashMap::new()),
+            groups: TrackedMutex::new(LockClass::DevsetRegistry, HashMap::new()),
             next_group: AtomicU64::new(0),
             opens: AtomicU64::new(0),
             resets: AtomicU64::new(0),
             busy: AtomicU64::new(0),
-            faults: Mutex::new(FaultPlane::disabled()),
-            tracer: RwLock::new(None),
+            faults: TrackedMutex::new(LockClass::FaultPlane, FaultPlane::disabled()),
+            tracer: TrackedRwLock::new(LockClass::TracerSlot, None),
         })
     }
 
@@ -292,7 +294,7 @@ impl DevsetManager {
                 Arc::new(DevSet {
                     key,
                     lock: ParentChildLock::new(self.policy, DevsetState::default()),
-                    devices: RwLock::new(Vec::new()),
+                    devices: TrackedRwLock::new(LockClass::DevsetMembers, Vec::new()),
                     bus: Arc::clone(&self.bus),
                     open_overhead: self.open_overhead,
                 })
@@ -425,7 +427,7 @@ impl DevsetManager {
 mod tests {
     use super::*;
     use fastiov_pci::DeviceClass;
-    use fastiov_simtime::Clock;
+    use fastiov_simtime::{Clock, WallStopwatch};
 
     fn setup(policy: LockPolicy, n_vfs: u8) -> (Arc<PciBus>, Arc<DevsetManager>) {
         let clock = Clock::with_scale(1e-4);
@@ -569,7 +571,7 @@ mod tests {
                 mgr.register(dev).unwrap();
                 mgr.group(Bdf::new(3, i, 0)).unwrap().attach(1).unwrap();
             }
-            let t0 = std::time::Instant::now();
+            let t0 = WallStopwatch::start();
             let handles: Vec<_> = (0..16u8)
                 .map(|i| {
                     let mgr = Arc::clone(&mgr);

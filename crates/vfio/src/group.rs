@@ -13,7 +13,7 @@ use crate::{Result, VfioError};
 use fastiov_faults::{sites, FaultPlane};
 use fastiov_pci::Bdf;
 use fastiov_simtime::Clock;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -22,7 +22,7 @@ pub struct VfioGroup {
     id: u32,
     bdf: Bdf,
     /// Owner container, identified by the hypervisor PID behind it.
-    attached: Mutex<Option<u64>>,
+    attached: TrackedMutex<Option<u64>>,
     attach_count: AtomicU64,
     /// Fault plane consulted on the attach ioctl, with the clock latency
     /// spikes are charged to. `None` in standalone/test construction.
@@ -35,7 +35,7 @@ impl VfioGroup {
         Arc::new(VfioGroup {
             id,
             bdf,
-            attached: Mutex::new(None),
+            attached: TrackedMutex::new(LockClass::VfioGroup, None),
             attach_count: AtomicU64::new(0),
             faults: None,
         })
@@ -46,7 +46,7 @@ impl VfioGroup {
         Arc::new(VfioGroup {
             id,
             bdf,
-            attached: Mutex::new(None),
+            attached: TrackedMutex::new(LockClass::VfioGroup, None),
             attach_count: AtomicU64::new(0),
             faults: Some((plane, clock)),
         })

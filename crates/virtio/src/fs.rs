@@ -14,7 +14,7 @@ use crate::{Result, VirtioError};
 use fastiov_hostmem::{Gpa, Hva};
 use fastiov_kvm::Vm;
 use fastiov_simtime::FairShareBandwidth;
-use parking_lot::Mutex;
+use fastiov_simtime::{LockClass, TrackedMutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -33,7 +33,7 @@ pub struct VirtioFs {
     vm: Arc<Vm>,
     ring: Vring,
     /// Host-side shared directory contents.
-    files: Mutex<HashMap<String, Arc<Vec<u8>>>>,
+    files: TrackedMutex<HashMap<String, Arc<Vec<u8>>>>,
     /// Shared host↔guest copy bandwidth (the virtiofsd data path).
     bw: Arc<FairShareBandwidth>,
     /// FastIOV frontend behaviour: proactively EPT-fault buffer pages
@@ -56,7 +56,7 @@ impl VirtioFs {
         VirtioFs {
             ring: Vring::new(Arc::clone(&vm), ring_gpa, ring_hva),
             vm,
-            files: Mutex::new(HashMap::new()),
+            files: TrackedMutex::new(LockClass::Virtio, HashMap::new()),
             bw,
             proactive_faults,
             reads: AtomicU64::new(0),

@@ -11,7 +11,7 @@ use crate::Result;
 use fastiov_hostmem::{Gpa, Hva};
 use fastiov_kvm::Vm;
 use fastiov_simtime::FairShareBandwidth;
-use parking_lot::{Condvar, Mutex};
+use fastiov_simtime::{LockClass, TrackedCondvar, TrackedMutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -26,8 +26,8 @@ pub struct VirtioNet {
     proactive_faults: bool,
     /// Buffers the guest driver has prepared, in posting order, with
     /// completions signalled through a condvar.
-    completions: Mutex<VecDeque<(Gpa, usize)>>,
-    cv: Condvar,
+    completions: TrackedMutex<VecDeque<(Gpa, usize)>>,
+    cv: TrackedCondvar,
     rx_packets: AtomicU64,
 }
 
@@ -45,8 +45,8 @@ impl VirtioNet {
             vm,
             bw,
             proactive_faults,
-            completions: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
+            completions: TrackedMutex::new(LockClass::Virtio, VecDeque::new()),
+            cv: TrackedCondvar::new(),
             rx_packets: AtomicU64::new(0),
         }
     }

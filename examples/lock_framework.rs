@@ -9,9 +9,10 @@
 //! cargo run --release --example lock_framework
 //! ```
 
+use fastiov_repro::simtime::WallStopwatch;
 use fastiov_repro::vfio::{ChildLock, LockPolicy, ParentChildLock};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 #[derive(Default)]
 struct PoolStats {
@@ -31,7 +32,7 @@ fn run(policy: LockPolicy, conns: usize, requests: u64) -> Duration {
             .collect(),
     );
 
-    let t0 = Instant::now();
+    let t0 = WallStopwatch::start();
     let mut handles = Vec::new();
     for i in 0..conns {
         let pool = Arc::clone(&pool);
